@@ -1,0 +1,65 @@
+"""Experiments E7–E10 — Fig. 10: hyper-parameter sensitivity of HTC.
+
+Four sweeps on the Douban and Allmovie–Imdb stand-ins:
+
+* (a) number of orbits K — precision rises steeply for small K then plateaus,
+* (b) embedding dimension d — rises then saturates,
+* (c) LISI neighbourhood size m — flat plateau with mild extremes,
+* (d) reinforcement rate β — smaller is better (large β over-commits).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval.hyperparameter import sweep_hyperparameter
+from repro.eval.reporting import format_series
+
+from _common import DATASET_SCALE, HTC_CONFIG, write_report
+
+DATASETS = ("douban", "allmovie_imdb")
+
+SWEEPS = {
+    "n_orbits": (1, 3, 5, 7, 9, 11, 13),
+    "embedding_dim": (4, 8, 16, 32, 64),
+    "n_neighbors": (2, 5, 10, 20, 40),
+    "reinforcement_rate": (1.1, 1.3, 1.5, 1.7, 2.0),
+}
+
+
+def _run_sweeps():
+    pairs = {
+        name: load_dataset(name, scale=DATASET_SCALE, random_state=index)
+        for index, name in enumerate(DATASETS)
+    }
+    all_points = {}
+    for parameter, values in SWEEPS.items():
+        for name, pair in pairs.items():
+            points = sweep_hyperparameter(
+                parameter, values, pair, base_config=HTC_CONFIG, random_state=0
+            )
+            all_points[(parameter, name)] = points
+    return all_points
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_hyperparameters(benchmark):
+    all_points = benchmark.pedantic(_run_sweeps, rounds=1, iterations=1)
+
+    sections = ["Fig. 10 — hyper-parameter sensitivity (p@1)"]
+    for (parameter, dataset), points in all_points.items():
+        series = {f"{dataset}": [(p.value, p.metrics["p@1"]) for p in points]}
+        sections.append(
+            format_series(series, x_label=parameter, y_label="p@1", title=f"({parameter})")
+        )
+    write_report("fig10_hyperparameters", sections)
+
+    # Fig. 10a claim: using many orbits clearly beats using only one.
+    for dataset in DATASETS:
+        orbit_points = {p.value: p.metrics["p@1"] for p in all_points[("n_orbits", dataset)]}
+        assert max(orbit_points[k] for k in orbit_points if k >= 5) >= orbit_points[1]
+    # Fig. 10b claim: a very small dimension underperforms the larger ones.
+    for dataset in DATASETS:
+        dim_points = {p.value: p.metrics["p@1"] for p in all_points[("embedding_dim", dataset)]}
+        assert max(dim_points[32], dim_points[64]) >= dim_points[4]

@@ -1,0 +1,58 @@
+"""Experiment E3 — Fig. 7: runtime comparison between HTC and the baselines.
+
+The paper's claim: HTC's wall-clock time is the smallest or comparable to the
+baselines on every pair (it is far cheaper than PALE/CENALP and in the same
+range as GAlign).  The harness reports seconds per (method, dataset) cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval.protocol import run_comparison
+from repro.eval.reporting import format_table
+
+from _common import DATASET_SCALE, make_all_methods, write_report
+
+DATASETS = ("allmovie_imdb", "douban", "flickr_myspace")
+
+
+def _run_runtime_comparison():
+    pairs = [
+        load_dataset(name, scale=DATASET_SCALE, random_state=index)
+        for index, name in enumerate(DATASETS)
+    ]
+    results = run_comparison(
+        make_all_methods(), pairs, train_ratio=0.1, n_runs=1, random_state=0
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_runtime_comparison(benchmark):
+    results = benchmark.pedantic(_run_runtime_comparison, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "dataset": r.dataset,
+            "method": r.method,
+            "time_s": round(r.time_seconds, 3),
+            "p@1": round(r.metrics["p@1"], 4),
+        }
+        for r in results
+    ]
+    write_report(
+        "fig7_runtime",
+        ["Fig. 7 — runtime comparison (seconds per run)", format_table(rows)],
+    )
+
+    # NOTE on fidelity: at this reduced scale, and with the heavyweight
+    # baselines (PALE/CENALP) simplified to closed-form embeddings, the
+    # paper's runtime *ranking* does not transfer — HTC's constant factors
+    # dominate on ~100-node graphs.  The bench therefore only checks that all
+    # methods complete in bounded time and reports the table; see
+    # EXPERIMENTS.md for the discussion.
+    for result in results:
+        assert result.time_seconds >= 0.0
+        assert result.time_seconds < 120.0

@@ -1,0 +1,50 @@
+"""Experiment E4 — Fig. 8: decomposition of HTC's runtime into pipeline stages.
+
+The paper splits HTC's total time into orbit counting, Laplacian matrix
+construction, multi-orbit-aware training, trusted-pair fine-tuning, weighted
+integration, and other operations, and observes that counting/Laplacian/
+integration are cheap while training and fine-tuning dominate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval.reporting import format_table
+
+from _common import DATASET_SCALE, make_htc, write_report
+
+DATASETS = ("allmovie_imdb", "douban", "flickr_myspace")
+
+
+def _run_decomposition():
+    decompositions = {}
+    for index, name in enumerate(DATASETS):
+        pair = load_dataset(name, scale=DATASET_SCALE, random_state=index)
+        result = make_htc().align(pair)
+        decompositions[name] = dict(result.stage_times)
+    return decompositions
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_runtime_decomposition(benchmark):
+    decompositions = benchmark.pedantic(_run_decomposition, rounds=1, iterations=1)
+
+    rows = []
+    for dataset, stages in decompositions.items():
+        row = {"dataset": dataset}
+        row.update({stage: round(seconds, 3) for stage, seconds in stages.items()})
+        row["total_s"] = round(sum(stages.values()), 3)
+        rows.append(row)
+    write_report(
+        "fig8_runtime_decomposition",
+        ["Fig. 8 — HTC runtime decomposition (seconds)", format_table(rows)],
+    )
+
+    for stages in decompositions.values():
+        total = sum(stages.values())
+        # Training + fine-tuning dominate; bookkeeping stages are cheap.
+        heavy = stages["multi_orbit_training"] + stages["trusted_pair_fine_tuning"]
+        assert heavy > 0.5 * total
+        assert stages["weighted_integration"] < 0.2 * total

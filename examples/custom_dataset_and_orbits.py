@@ -1,0 +1,95 @@
+"""Working with your own graphs: orbit analysis and a custom alignment task.
+
+This example shows the lower-level API a downstream user needs when they are
+not using the bundled datasets:
+
+1. build :class:`AttributedGraph` objects from raw edge lists (or networkx),
+2. inspect edge orbits and Graphlet Orbit Matrices directly,
+3. assemble a :class:`GraphPair` with a known ground truth,
+4. register the dataset so the evaluation harness can use it by name,
+5. run HTC and save/reload the pair from disk.
+
+Run with::
+
+    python examples/custom_dataset_and_orbits.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import HTCAligner, HTCConfig, evaluate_alignment
+from repro.datasets import GraphPair, load_pair, save_pair
+from repro.datasets.registry import load_dataset, register_dataset
+from repro.graph import from_edge_list
+from repro.graph.perturbation import make_noisy_copy
+from repro.orbits import build_orbit_matrices, count_edge_orbits
+from repro.orbits.graphlets import EDGE_ORBIT_NAMES
+
+
+def build_collaboration_graph():
+    """A small hand-made collaboration network with group-membership attributes."""
+    edges = [
+        # research group A (a clique of four)
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        # research group B (a ring of five)
+        (4, 5), (5, 6), (6, 7), (7, 8), (4, 8),
+        # bridges between the groups
+        (3, 4), (2, 6),
+        # a few peripheral collaborators
+        (8, 9), (9, 10), (10, 11), (9, 11), (0, 12), (12, 13),
+    ]
+    n_nodes = 14
+    group = np.array([0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 3, 3])
+    attributes = np.zeros((n_nodes, 4))
+    attributes[np.arange(n_nodes), group] = 1.0
+    return from_edge_list(edges, n_nodes=n_nodes, attributes=attributes, name="collab")
+
+
+def main() -> None:
+    graph = build_collaboration_graph()
+    print("Custom graph:", graph)
+
+    # --- orbit analysis ---------------------------------------------------
+    counts = count_edge_orbits(graph)
+    print("\nEdge-orbit profile of the bridge edge (3, 4) vs a clique edge (0, 1):")
+    profile = counts.as_dict()
+    for edge in [(3, 4), (0, 1)]:
+        nonzero = {
+            f"orbit {k} ({EDGE_ORBIT_NAMES[k].split(' of')[0]})": int(v)
+            for k, v in enumerate(profile[edge])
+            if v > 0
+        }
+        print(f"  {edge}: {nonzero}")
+
+    gom = build_orbit_matrices(graph, orbits=[2])[0]
+    print(f"\nTriangle GOM has {gom.nnz // 2} weighted edges "
+          f"(out of {graph.n_edges} edges in total).")
+
+    # --- build an alignment task around the custom graph -------------------
+    target, mapping = make_noisy_copy(graph, edge_removal_ratio=0.1, random_state=0)
+    pair = GraphPair(source=graph, target=target, ground_truth=mapping, name="collab")
+    register_dataset("collab", lambda **kwargs: pair)
+    print("\nRegistered custom dataset:", load_dataset("collab").summary())
+
+    # --- align ------------------------------------------------------------
+    config = HTCConfig(
+        orbits=range(6), embedding_dim=16, epochs=40, n_neighbors=3, random_state=0
+    )
+    result = HTCAligner(config).align(pair)
+    metrics = evaluate_alignment(result.alignment_matrix, pair.ground_truth)
+    print("\nHTC on the custom pair:", {k: round(v, 3) for k, v in metrics.items()})
+
+    # --- persistence ------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = save_pair(pair, Path(tmp) / "collab")
+        reloaded = load_pair(directory)
+        print(f"\nRound-tripped the dataset through {directory}; "
+              f"{reloaded.n_anchors} anchors preserved.")
+
+
+if __name__ == "__main__":
+    main()

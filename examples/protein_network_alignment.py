@@ -1,0 +1,90 @@
+"""Protein-interaction network alignment with structure-only information.
+
+Scenario: protein-protein interaction (PPI) networks of two related species
+must be aligned to transfer functional annotations (the classic IsoRank /
+H-GRAAL use case referenced in the paper's introduction).  Unlike social
+networks, PPI networks carry almost no node attributes — alignment must rely
+on topology, which is exactly where higher-order consistency matters.
+
+The script:
+
+1. simulates a PPI-like source network (power-law degree distribution, high
+   clustering) and an evolutionarily diverged target (edge loss + partial
+   protein coverage),
+2. strips the attributes down to a single constant feature so only structure
+   is informative,
+3. compares HTC against the structure-capable baselines and a graphlet-degree
+   -vector matcher, and reports how much the higher-order orbits contribute.
+
+Run with::
+
+    python examples/protein_network_alignment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HTCAligner, HTCConfig
+from repro.baselines import REGAL, GAlign, IsoRank
+from repro.baselines.naive import GDVAligner
+from repro.datasets.synthetic import synthetic_pair
+from repro.eval.protocol import run_comparison
+from repro.eval.reporting import format_importance_ranking, format_table
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+def build_ppi_pair():
+    """A PPI-like alignment task with structure-only node information."""
+    species_a = powerlaw_cluster_graph(
+        n_nodes=150,
+        edges_per_node=4,
+        triangle_prob=0.7,       # PPI networks are highly clustered
+        n_attributes=4,
+        random_state=7,
+        name="species_a",
+    )
+    # Remove attribute information: every protein looks identical up front.
+    species_a = species_a.with_attributes(np.ones((species_a.n_nodes, 1)))
+    return synthetic_pair(
+        species_a,
+        edge_removal_ratio=0.15,     # interactions lost by divergence / assay noise
+        target_node_fraction=0.85,   # orthologs missing in the second species
+        name="ppi",
+        random_state=7,
+    )
+
+
+def main() -> None:
+    pair = build_ppi_pair()
+    print("PPI alignment task:", pair.summary())
+    print("(a single constant attribute: only topology can drive the alignment)\n")
+
+    config = HTCConfig(
+        embedding_dim=32,
+        epochs=50,
+        n_neighbors=10,
+        random_state=0,
+    )
+    methods = [
+        HTCAligner(config),
+        GAlign(embedding_dim=32, epochs=50, random_state=0),
+        REGAL(n_landmarks=60, attribute_weight=0.0, random_state=0),
+        IsoRank(n_iterations=25),
+        GDVAligner(use_attributes=False),
+    ]
+    results = run_comparison(methods, [pair], train_ratio=0.1, random_state=0)
+    print(format_table([r.as_row() for r in results], title="Structure-only alignment"))
+
+    htc_result = methods[0].last_result_
+    print("\nOrbit importance without attributes (higher-order structure carries the signal):")
+    print(format_importance_ranking(htc_result.orbit_importance))
+
+    higher_order_mass = sum(
+        gamma for orbit, gamma in htc_result.orbit_importance.items() if orbit > 0
+    )
+    print(f"\nShare of importance on higher-order orbits: {higher_order_mass:.2%}")
+
+
+if __name__ == "__main__":
+    main()

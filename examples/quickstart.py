@@ -1,0 +1,63 @@
+"""Quickstart: align two networks with HTC in a dozen lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small synthetic alignment task (a noisy, permuted copy of
+a power-law network), runs the full HTC pipeline, and reports the paper's
+metrics (precision@1, precision@10, MRR) together with the orbit-importance
+ranking and the runtime decomposition.
+"""
+
+from __future__ import annotations
+
+from repro import HTCAligner, HTCConfig, evaluate_alignment, load_dataset
+from repro.eval.reporting import format_importance_ranking
+
+
+def main() -> None:
+    # 1. Load an alignment task: a source network, a noisy permuted target
+    #    network, and (for evaluation only) the ground-truth anchor links.
+    pair = load_dataset("tiny", n_nodes=80, noise=0.08, random_state=0)
+    print("Task:", pair.summary())
+
+    # 2. Configure HTC.  The defaults follow the paper; here we shrink the
+    #    model a little so the example runs in a few seconds on any laptop.
+    config = HTCConfig(
+        orbits=range(8),       # use the first 8 edge orbits
+        embedding_dim=32,      # d
+        epochs=40,             # training epochs for the shared GCN encoder
+        n_neighbors=10,        # m, the LISI neighbourhood size
+        reinforcement_rate=1.1,  # beta
+        random_state=0,
+    )
+
+    # 3. Align.  HTC is fully unsupervised: it never sees the ground truth.
+    aligner = HTCAligner(config)
+    result = aligner.align(pair)
+
+    # 4. Evaluate against the held-out ground truth.
+    metrics = evaluate_alignment(result.alignment_matrix, pair.ground_truth)
+    print("\nAlignment quality:")
+    for name, value in metrics.items():
+        print(f"  {name:>5}: {value:.4f}")
+
+    # 5. Inspect what the model learned.
+    print("\nOrbit importance (posterior weights gamma):")
+    print(format_importance_ranking(result.orbit_importance))
+
+    print("\nRuntime decomposition (seconds):")
+    for stage, seconds in result.stage_times.items():
+        print(f"  {stage:>28}: {seconds:.3f}")
+
+    # 6. Use the alignment: the best target candidate for a few source nodes.
+    print("\nTop-3 candidates for the first five source nodes:")
+    top = result.top_candidates(3)
+    for source_node in range(5):
+        truth = pair.ground_truth[source_node]
+        print(f"  source {source_node:>3} -> {top[source_node].tolist()} (truth: {truth})")
+
+
+if __name__ == "__main__":
+    main()

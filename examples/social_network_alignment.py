@@ -1,0 +1,66 @@
+"""Social-network user alignment: HTC versus supervised and unsupervised baselines.
+
+Scenario (the paper's motivating application): the same users appear on two
+social platforms — a dense "online" network and a sparser "offline" network
+that only covers a subset of them.  The goal is to link user accounts across
+the platforms so that friend suggestion and recommendation can be transferred.
+
+The script:
+
+1. builds the Douban-Online/Offline stand-in (community-structured SBM with
+   profile-like attributes, partial node overlap),
+2. runs HTC and a spread of baselines (unsupervised GAlign/REGAL, supervised
+   FINAL/IsoRank/PALE with 10% of the ground truth),
+3. prints the Table-II style comparison and HTC's orbit-importance profile.
+
+Run with::
+
+    python examples/social_network_alignment.py
+"""
+
+from __future__ import annotations
+
+from repro import HTCAligner, HTCConfig, load_dataset
+from repro.baselines import FINAL, PALE, REGAL, GAlign, IsoRank
+from repro.eval.protocol import run_comparison
+from repro.eval.reporting import format_importance_ranking, format_table
+
+
+def main() -> None:
+    pair = load_dataset("douban", scale=0.5, random_state=1)
+    print("Social-network alignment task:", pair.summary())
+    print(
+        f"\nOnly {pair.target.n_nodes} of the {pair.source.n_nodes} online users "
+        "exist in the offline network; the aligner must still rank the right "
+        "counterpart first for each of them.\n"
+    )
+
+    config = HTCConfig(
+        embedding_dim=32,
+        epochs=40,
+        n_neighbors=10,
+        random_state=0,
+    )
+    methods = [
+        HTCAligner(config),
+        GAlign(embedding_dim=32, epochs=40, random_state=0),
+        REGAL(n_landmarks=60, random_state=0),
+        FINAL(n_iterations=25),
+        IsoRank(n_iterations=25),
+        PALE(embedding_dim=32, epochs=150, random_state=0),
+    ]
+
+    results = run_comparison(methods, [pair], train_ratio=0.1, random_state=0)
+    rows = [r.as_row() for r in results]
+    print(format_table(rows, title="User alignment on the Douban stand-in"))
+
+    htc_result = methods[0].last_result_
+    print("\nWhich topological patterns mattered (HTC orbit importance):")
+    print(format_importance_ranking(htc_result.orbit_importance))
+
+    best = max(results, key=lambda r: r.metrics["p@1"])
+    print(f"\nBest precision@1: {best.method} ({best.metrics['p@1']:.4f})")
+
+
+if __name__ == "__main__":
+    main()

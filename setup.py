@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode in fully offline environments where
+the ``wheel`` package (required by PEP 660 editable builds) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""HTC: Higher-order Topological Consistency for Unsupervised Network Alignment.
+
+A from-scratch Python reproduction of Sun et al. (ICDE 2023).  The public API
+re-exports the pieces most users need; see the subpackages for the full
+surface:
+
+* :mod:`repro.core` — the HTC aligner, its configuration, and ablation
+  variants,
+* :mod:`repro.graph` — the attributed-graph substrate,
+* :mod:`repro.orbits` — graphlet edge/node orbit counting,
+* :mod:`repro.nn` — the numpy autograd / GCN substrate,
+* :mod:`repro.baselines` — IsoRank, FINAL, REGAL, PALE, CENALP, GAlign,
+* :mod:`repro.datasets` — synthetic paper-calibrated alignment pairs,
+* :mod:`repro.eval` — metrics, protocols, robustness/ablation/sweep runners,
+* :mod:`repro.viz` — t-SNE and embedding-overlap statistics.
+
+Example
+-------
+>>> from repro import HTCAligner, HTCConfig, load_dataset
+>>> pair = load_dataset("tiny")
+>>> result = HTCAligner(HTCConfig(epochs=20, embedding_dim=16)).align(pair)
+>>> result.alignment_matrix.shape == (pair.source.n_nodes, pair.target.n_nodes)
+True
+"""
+
+from repro.core import (
+    ABLATION_VARIANTS,
+    AlignmentResult,
+    HTCAligner,
+    HTCConfig,
+    make_variant,
+)
+from repro.datasets import GraphPair, available_datasets, load_dataset
+from repro.eval import evaluate_alignment, mean_reciprocal_rank, precision_at_q
+from repro.graph import AttributedGraph
+from repro.orbits import build_orbit_matrices, count_edge_orbits
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "HTCAligner",
+    "HTCConfig",
+    "AlignmentResult",
+    "make_variant",
+    "ABLATION_VARIANTS",
+    "AttributedGraph",
+    "GraphPair",
+    "load_dataset",
+    "available_datasets",
+    "count_edge_orbits",
+    "build_orbit_matrices",
+    "precision_at_q",
+    "mean_reciprocal_rank",
+    "evaluate_alignment",
+]

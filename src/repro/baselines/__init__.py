@@ -1,0 +1,63 @@
+"""Baseline network-alignment methods used in the paper's comparison.
+
+Each baseline re-implements the published algorithm's core mechanism on this
+library's substrates (see the per-module docstrings for the exact scope and
+any simplifications):
+
+* :class:`IsoRank` — topology-only similarity flow with an alignment prior,
+* :class:`FINAL` — attributed similarity flow (FINAL-N style),
+* :class:`REGAL` — xNetMF structural/attribute embeddings + landmark
+  factorisation,
+* :class:`PALE` — embedding + supervised mapping,
+* :class:`CENALP` — iterative cross-graph embedding with alignment growth,
+* :class:`GAlign` — unsupervised multi-order GCN with augmentation,
+* :class:`DegreeAligner` / :class:`AttributeAligner` — naive references.
+"""
+
+from repro.baselines.base import BaseAligner
+from repro.baselines.cenalp import CENALP
+from repro.baselines.final import FINAL
+from repro.baselines.galign import GAlign
+from repro.baselines.isorank import IsoRank
+from repro.baselines.naive import AttributeAligner, DegreeAligner
+from repro.baselines.pale import PALE
+from repro.baselines.regal import REGAL
+
+#: All baselines in the order the paper's Table II lists them.
+PAPER_BASELINES = ("GAlign", "FINAL", "PALE", "CENALP", "IsoRank", "REGAL")
+
+
+def make_baseline(name: str, **kwargs) -> BaseAligner:
+    """Instantiate a baseline by its paper name."""
+    registry = {
+        "IsoRank": IsoRank,
+        "FINAL": FINAL,
+        "REGAL": REGAL,
+        "PALE": PALE,
+        "CENALP": CENALP,
+        "GAlign": GAlign,
+        "Degree": DegreeAligner,
+        "Attribute": AttributeAligner,
+    }
+    try:
+        cls = registry[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown baseline {name!r}; available: {sorted(registry)}"
+        ) from error
+    return cls(**kwargs)
+
+
+__all__ = [
+    "BaseAligner",
+    "IsoRank",
+    "FINAL",
+    "REGAL",
+    "PALE",
+    "CENALP",
+    "GAlign",
+    "DegreeAligner",
+    "AttributeAligner",
+    "PAPER_BASELINES",
+    "make_baseline",
+]

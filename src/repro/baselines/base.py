@@ -1,0 +1,41 @@
+"""Common interface for alignment methods."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.pair import GraphPair
+
+AnchorList = Optional[List[Tuple[int, int]]]
+
+
+class BaseAligner:
+    """Interface every alignment method implements.
+
+    Attributes
+    ----------
+    name:
+        Display name used in benchmark tables.
+    requires_supervision:
+        True when the method consumes ``train_anchors`` (the 10% ground-truth
+        split the paper gives to supervised competitors).
+    """
+
+    name = "base"
+    requires_supervision = False
+
+    def align(self, pair: GraphPair, train_anchors: AnchorList = None) -> np.ndarray:
+        """Return the ``(n_source, n_target)`` alignment-score matrix."""
+        raise NotImplementedError
+
+    def _check_pair(self, pair: GraphPair) -> None:
+        if pair.source.n_nodes == 0 or pair.target.n_nodes == 0:
+            raise ValueError("cannot align empty graphs")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["BaseAligner", "AnchorList"]

@@ -1,0 +1,84 @@
+"""FINAL (Zhang & Tong, KDD 2016) — fast attributed network alignment.
+
+FINAL generalises IsoRank's similarity flow to attributed networks: the
+propagated similarity of a node pair is gated by the similarity of their
+attributes.  This implementation follows the FINAL-N(+) iterative form
+
+``M ← α · N ⊙ (Ā_s M Ā_tᵀ) + (1 − α) · H``
+
+where ``N`` is the node-attribute similarity matrix and ``H`` the anchor
+prior, which is the fixed-point view of the full Sylvester formulation used
+in the original paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AnchorList, BaseAligner
+from repro.datasets.pair import GraphPair
+from repro.similarity.measures import cosine_similarity
+from repro.utils.sparse import row_normalize
+
+
+class FINAL(BaseAligner):
+    """Attributed similarity-flow alignment.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the propagated term versus the prior.
+    n_iterations:
+        Number of fixed-point iterations.
+    tol:
+        Early-stopping tolerance.
+    """
+
+    name = "FINAL"
+    requires_supervision = True
+
+    def __init__(self, alpha: float = 0.82, n_iterations: int = 30, tol: float = 1e-6):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+        self.alpha = alpha
+        self.n_iterations = n_iterations
+        self.tol = tol
+
+    def align(self, pair: GraphPair, train_anchors: AnchorList = None) -> np.ndarray:
+        self._check_pair(pair)
+        n_s, n_t = pair.source.n_nodes, pair.target.n_nodes
+
+        source_norm = row_normalize(pair.source.adjacency)
+        target_norm = row_normalize(pair.target.adjacency)
+
+        # Attribute-similarity gate, shifted to [0, 1].
+        attribute_similarity = cosine_similarity(
+            pair.source.attributes, pair.target.attributes
+        )
+        attribute_similarity = (attribute_similarity + 1.0) / 2.0
+
+        prior = np.full((n_s, n_t), 1.0 / (n_s * n_t))
+        if train_anchors:
+            for i, j in train_anchors:
+                prior[i, j] = 1.0
+        prior /= prior.sum()
+
+        scores = prior.copy()
+        for _ in range(self.n_iterations):
+            propagated = source_norm.dot(scores)
+            propagated = target_norm.dot(propagated.T).T
+            updated = self.alpha * attribute_similarity * propagated
+            updated += (1.0 - self.alpha) * prior
+            total = updated.sum()
+            if total > 0:
+                updated /= total
+            if np.abs(updated - scores).max() < self.tol:
+                scores = updated
+                break
+            scores = updated
+        return scores
+
+
+__all__ = ["FINAL"]

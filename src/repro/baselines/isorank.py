@@ -1,0 +1,76 @@
+"""IsoRank (Singh, Xu & Berger, PNAS 2008).
+
+IsoRank propagates pairwise similarity through the two networks: two nodes
+are similar when their neighbourhoods are similar.  The fixed point of
+
+``M ← α · Ā_s M Ā_tᵀ + (1 − α) · H``
+
+(with degree-normalised adjacencies ``Ā`` and a prior matrix ``H``) is found
+by power iteration.  The paper runs IsoRank as a supervised baseline by
+building ``H`` from 10% of the ground-truth anchors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AnchorList, BaseAligner
+from repro.datasets.pair import GraphPair
+from repro.utils.sparse import row_normalize
+
+
+class IsoRank(BaseAligner):
+    """Topology-only similarity-flow alignment.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the propagated term versus the prior.
+    n_iterations:
+        Number of power iterations.
+    tol:
+        Early-stopping tolerance on the update's max-norm.
+    """
+
+    name = "IsoRank"
+    requires_supervision = True
+
+    def __init__(self, alpha: float = 0.82, n_iterations: int = 30, tol: float = 1e-6):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+        self.alpha = alpha
+        self.n_iterations = n_iterations
+        self.tol = tol
+
+    def align(self, pair: GraphPair, train_anchors: AnchorList = None) -> np.ndarray:
+        self._check_pair(pair)
+        n_s, n_t = pair.source.n_nodes, pair.target.n_nodes
+
+        source_norm = row_normalize(pair.source.adjacency)
+        target_norm = row_normalize(pair.target.adjacency)
+
+        prior = np.full((n_s, n_t), 1.0 / (n_s * n_t))
+        if train_anchors:
+            for i, j in train_anchors:
+                prior[i, j] = 1.0
+        prior /= prior.sum()
+
+        scores = prior.copy()
+        for _ in range(self.n_iterations):
+            # M <- alpha * A_s M A_t^T + (1 - alpha) * H, keeping M normalised.
+            propagated = source_norm.dot(scores)
+            propagated = target_norm.dot(propagated.T).T
+            updated = self.alpha * propagated + (1.0 - self.alpha) * prior
+            total = updated.sum()
+            if total > 0:
+                updated /= total
+            if np.abs(updated - scores).max() < self.tol:
+                scores = updated
+                break
+            scores = updated
+        return scores
+
+
+__all__ = ["IsoRank"]

@@ -1,0 +1,69 @@
+"""Naive reference aligners.
+
+These are not from the paper's comparison table but serve as sanity floors in
+tests and examples: alignment from raw node degrees and from raw attribute
+similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AnchorList, BaseAligner
+from repro.datasets.pair import GraphPair
+from repro.similarity.measures import cosine_similarity
+
+
+class DegreeAligner(BaseAligner):
+    """Score node pairs by how close their degrees are (topology-only floor)."""
+
+    name = "Degree"
+    requires_supervision = False
+
+    def align(self, pair: GraphPair, train_anchors: AnchorList = None) -> np.ndarray:
+        self._check_pair(pair)
+        source_degrees = pair.source.degrees.astype(np.float64)
+        target_degrees = pair.target.degrees.astype(np.float64)
+        differences = np.abs(source_degrees[:, None] - target_degrees[None, :])
+        return -differences
+
+
+class AttributeAligner(BaseAligner):
+    """Score node pairs by raw attribute cosine similarity (attribute-only floor)."""
+
+    name = "Attribute"
+    requires_supervision = False
+
+    def align(self, pair: GraphPair, train_anchors: AnchorList = None) -> np.ndarray:
+        self._check_pair(pair)
+        return cosine_similarity(pair.source.attributes, pair.target.attributes)
+
+
+class GDVAligner(BaseAligner):
+    """Graphlet-degree-vector alignment (H-GRAAL / GraphletAlign flavour).
+
+    Scores node pairs by the cosine similarity of their log-scaled graphlet
+    degree vectors, optionally concatenated with attributes.  Included as the
+    "graphlet features without learning" reference discussed in the paper's
+    related-work section.
+    """
+
+    name = "GDV"
+    requires_supervision = False
+
+    def __init__(self, use_attributes: bool = True) -> None:
+        self.use_attributes = use_attributes
+
+    def align(self, pair: GraphPair, train_anchors: AnchorList = None) -> np.ndarray:
+        from repro.orbits.node_orbits import graphlet_degree_vectors
+
+        self._check_pair(pair)
+        source_features = graphlet_degree_vectors(pair.source)
+        target_features = graphlet_degree_vectors(pair.target)
+        if self.use_attributes:
+            source_features = np.hstack([source_features, pair.source.attributes])
+            target_features = np.hstack([target_features, pair.target.attributes])
+        return cosine_similarity(source_features, target_features)
+
+
+__all__ = ["DegreeAligner", "AttributeAligner", "GDVAligner"]

@@ -1,0 +1,201 @@
+"""Command-line interface for the HTC reproduction.
+
+Four sub-commands cover the typical workflows without writing Python:
+
+``datasets``
+    List the bundled dataset stand-ins and their statistics.
+``align``
+    Run one method (HTC, an ablation variant, or a baseline) on one dataset
+    and print the paper's metrics.
+``compare``
+    Run HTC plus the baselines on one or more datasets (the Table II layout).
+``robustness``
+    Sweep edge-removal noise on a robustness dataset (the Fig. 9 layout).
+
+Examples
+--------
+::
+
+    python -m repro.cli datasets
+    python -m repro.cli align --dataset douban --method HTC --epochs 40
+    python -m repro.cli align --dataset allmovie_imdb --method GAlign
+    python -m repro.cli compare --datasets douban allmovie_imdb --scale 0.3
+    python -m repro.cli robustness --dataset econ --methods HTC GAlign IsoRank
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines import PAPER_BASELINES, make_baseline
+from repro.core import HTCAligner, HTCConfig
+from repro.core.variants import ABLATION_VARIANTS, EXTRA_ABLATION_VARIANTS, make_variant
+from repro.datasets import available_datasets, load_dataset
+from repro.datasets.synthetic import bn, econ
+from repro.eval.protocol import run_comparison, run_method
+from repro.eval.reporting import format_importance_ranking, format_series, format_table
+from repro.eval.robustness import run_robustness
+
+_HTC_NAMES = ("HTC",) + tuple(ABLATION_VARIANTS) + tuple(EXTRA_ABLATION_VARIANTS)
+
+
+def _make_method(name: str, config: HTCConfig):
+    """Instantiate a method by name: HTC variant or baseline."""
+    if name in _HTC_NAMES:
+        return make_variant(name, config) if name != "HTC" else HTCAligner(config)
+    return make_baseline(name)
+
+
+def _config_from_args(args: argparse.Namespace) -> HTCConfig:
+    orbits = range(args.orbits) if args.orbits is not None else None
+    return HTCConfig(
+        orbits=orbits,
+        embedding_dim=args.dim,
+        epochs=args.epochs,
+        n_neighbors=args.neighbors,
+        reinforcement_rate=args.beta,
+        random_state=args.seed,
+    )
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.3, help="dataset scale factor")
+    parser.add_argument("--dim", type=int, default=32, help="embedding dimension d")
+    parser.add_argument("--epochs", type=int, default=40, help="training epochs")
+    parser.add_argument(
+        "--orbits", type=int, default=None, help="use the first K orbits (default: all 13)"
+    )
+    parser.add_argument("--neighbors", type=int, default=10, help="LISI neighbourhood m")
+    parser.add_argument("--beta", type=float, default=1.1, help="reinforcement rate")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--runs", type=int, default=1, help="repetitions to average over")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HTC: higher-order topological consistency for unsupervised "
+        "network alignment (ICDE 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list bundled datasets and their statistics")
+
+    align = subparsers.add_parser("align", help="run one method on one dataset")
+    align.add_argument("--dataset", required=True, choices=available_datasets())
+    align.add_argument(
+        "--method",
+        default="HTC",
+        help=f"one of {_HTC_NAMES + tuple(PAPER_BASELINES)}",
+    )
+    _add_model_arguments(align)
+
+    compare = subparsers.add_parser(
+        "compare", help="run HTC and all baselines on one or more datasets"
+    )
+    compare.add_argument(
+        "--datasets", nargs="+", default=["douban"], choices=available_datasets()
+    )
+    _add_model_arguments(compare)
+
+    robustness = subparsers.add_parser(
+        "robustness", help="edge-removal noise sweep on a robustness dataset"
+    )
+    robustness.add_argument("--dataset", default="econ", choices=["econ", "bn"])
+    robustness.add_argument(
+        "--methods", nargs="+", default=["HTC", "GAlign", "IsoRank"]
+    )
+    robustness.add_argument(
+        "--ratios", nargs="+", type=float, default=[0.1, 0.2, 0.3, 0.4, 0.5]
+    )
+    _add_model_arguments(robustness)
+
+    return parser
+
+
+def _cmd_datasets() -> int:
+    rows = []
+    for name in available_datasets():
+        pair = load_dataset(name, scale=0.3) if name != "tiny" else load_dataset(name)
+        rows.append(pair.summary())
+    print(format_table(rows, title="Bundled dataset stand-ins (scale=0.3)"))
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    pair = (
+        load_dataset(args.dataset, scale=args.scale, random_state=args.seed)
+        if args.dataset != "tiny"
+        else load_dataset("tiny", random_state=args.seed)
+    )
+    method = _make_method(args.method, config)
+    result = run_method(method, pair, n_runs=args.runs, random_state=args.seed)
+    print(format_table([result.as_row()], title=f"{args.method} on {pair.name}"))
+    if isinstance(method, HTCAligner) and method.last_result_ is not None:
+        print("\nOrbit importance:")
+        print(format_importance_ranking(method.last_result_.orbit_importance))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    pairs = [
+        load_dataset(name, scale=args.scale, random_state=index)
+        for index, name in enumerate(args.datasets)
+    ]
+    methods = [HTCAligner(config)] + [make_baseline(name) for name in PAPER_BASELINES]
+    results = run_comparison(methods, pairs, n_runs=args.runs, random_state=args.seed)
+    for pair in pairs:
+        rows = [r.as_row() for r in results if r.dataset == pair.name]
+        print(format_table(rows, title=f"[{pair.name}]"))
+        print()
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    factory = econ if args.dataset == "econ" else bn
+    methods = [_make_method(name, config) for name in args.methods]
+    points = run_robustness(
+        methods,
+        factory,
+        noise_ratios=tuple(args.ratios),
+        scale=args.scale,
+        random_state=args.seed,
+    )
+    series = {}
+    for point in points:
+        series.setdefault(point.method, []).append(
+            (point.noise_ratio, point.metrics["p@1"])
+        )
+    print(
+        format_series(
+            series,
+            x_label="removal",
+            y_label="p@1",
+            title=f"Robustness on {args.dataset}",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "align":
+        return _cmd_align(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "robustness":
+        return _cmd_robustness(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""HTC core: the paper's primary contribution.
+
+* :class:`HTCConfig` — every hyper-parameter of the framework,
+* :mod:`repro.core.encoder` — orbit Laplacian construction and orbit-weighted
+  encoding (Eq. 2-5),
+* :mod:`repro.core.training` — multi-orbit-aware GAE training (Algorithm 1),
+* :mod:`repro.core.refinement` — trusted-pair based fine-tuning (Algorithm 2),
+* :mod:`repro.core.integration` — posterior importance assignment (Eq. 15),
+* :class:`HTCAligner` — the end-to-end pipeline,
+* :mod:`repro.core.variants` — the ablation variants of Table III.
+"""
+
+from repro.core.aligner import HTCAligner
+from repro.core.config import HTCConfig
+from repro.core.integration import integrate_alignment_matrices, orbit_importance
+from repro.core.result import AlignmentResult
+from repro.core.variants import ABLATION_VARIANTS, make_variant
+
+__all__ = [
+    "HTCConfig",
+    "HTCAligner",
+    "AlignmentResult",
+    "orbit_importance",
+    "integrate_alignment_matrices",
+    "make_variant",
+    "ABLATION_VARIANTS",
+]

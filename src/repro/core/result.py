@@ -1,0 +1,75 @@
+"""Result container returned by :class:`repro.core.HTCAligner`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.similarity.matching import greedy_match, top_k_indices
+
+
+@dataclass
+class AlignmentResult:
+    """Everything the HTC pipeline produced for one graph pair.
+
+    Attributes
+    ----------
+    alignment_matrix:
+        ``(n_source, n_target)`` final integrated alignment scores ``M``.
+    orbit_matrices:
+        Per-orbit alignment matrices ``M_k`` keyed by orbit id.
+    orbit_importance:
+        Posterior importance weights γ_k keyed by orbit id (sums to 1).
+    trusted_pair_counts:
+        Maximal number of trusted pairs found per orbit during fine-tuning.
+    source_embeddings, target_embeddings:
+        Final per-orbit node embeddings keyed by orbit id.
+    stage_times:
+        Wall-clock seconds per pipeline stage (the Fig. 8 decomposition).
+    training_losses:
+        Total reconstruction loss per epoch.
+    """
+
+    alignment_matrix: np.ndarray
+    orbit_matrices: Dict[int, np.ndarray] = field(default_factory=dict)
+    orbit_importance: Dict[int, float] = field(default_factory=dict)
+    trusted_pair_counts: Dict[int, int] = field(default_factory=dict)
+    source_embeddings: Dict[int, np.ndarray] = field(default_factory=dict)
+    target_embeddings: Dict[int, np.ndarray] = field(default_factory=dict)
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    training_losses: List[float] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        """Total wall-clock time across all recorded stages."""
+        return float(sum(self.stage_times.values()))
+
+    def predicted_anchors(self) -> List[Tuple[int, int]]:
+        """Hard one-to-one alignment obtained by greedy matching on ``M``."""
+        return greedy_match(self.alignment_matrix)
+
+    def top_candidates(self, k: int = 10) -> np.ndarray:
+        """Top-``k`` target candidates per source node, best first."""
+        return top_k_indices(self.alignment_matrix, k)
+
+    def best_match(self, source_node: int) -> int:
+        """Highest-scoring target node for ``source_node``."""
+        if not 0 <= source_node < self.alignment_matrix.shape[0]:
+            raise IndexError(f"source node {source_node} out of range")
+        return int(self.alignment_matrix[source_node].argmax())
+
+    def ranked_orbits(self) -> List[Tuple[int, float]]:
+        """Orbits sorted by decreasing importance weight (the Fig. 6 ranking)."""
+        return sorted(self.orbit_importance.items(), key=lambda kv: -kv[1])
+
+    def __repr__(self) -> str:
+        shape = self.alignment_matrix.shape
+        return (
+            f"AlignmentResult(alignment_matrix={shape[0]}x{shape[1]}, "
+            f"orbits={sorted(self.orbit_matrices)}, total_time={self.total_time:.2f}s)"
+        )
+
+
+__all__ = ["AlignmentResult"]

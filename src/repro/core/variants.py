@@ -1,0 +1,83 @@
+"""Ablation variants of HTC (paper Table III plus extra design ablations).
+
+Paper variants
+--------------
+* **HTC-L** — low-order only (plain adjacency view), no fine-tuning,
+* **HTC-H** — all orbits (multi-orbit-aware training), no fine-tuning,
+* **HTC-LT** — low-order only, with trusted-pair fine-tuning,
+* **HTC-DT** — diffusion matrices instead of GOMs, with fine-tuning,
+* **HTC** (a.k.a. HTC-HT) — the full method.
+
+Additional design ablations (DESIGN.md §6)
+------------------------------------------
+* **HTC-binary** — binary instead of weighted GOMs,
+* **HTC-cosine** — raw Pearson similarity instead of LISI in fine-tuning,
+* **HTC-GDV** — extension: node attributes augmented with graphlet degree
+  vectors before encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.aligner import HTCAligner
+from repro.core.config import HTCConfig
+
+
+def _base(config: Optional[HTCConfig]) -> HTCConfig:
+    return config if config is not None else HTCConfig()
+
+
+def make_variant(name: str, config: Optional[HTCConfig] = None) -> HTCAligner:
+    """Instantiate an ablation variant by name.
+
+    ``config`` provides the shared hyper-parameters (embedding size, epochs,
+    ...); the variant overrides only the fields it ablates.
+    """
+    base = _base(config)
+    builders = {
+        "HTC": lambda: base.updated(topology_mode="orbit", use_refinement=True),
+        "HTC-HT": lambda: base.updated(topology_mode="orbit", use_refinement=True),
+        "HTC-L": lambda: base.updated(topology_mode="adjacency", use_refinement=False),
+        "HTC-H": lambda: base.updated(topology_mode="orbit", use_refinement=False),
+        "HTC-LT": lambda: base.updated(topology_mode="adjacency", use_refinement=True),
+        "HTC-DT": lambda: base.updated(topology_mode="diffusion", use_refinement=True),
+        "HTC-binary": lambda: base.updated(
+            topology_mode="orbit", use_refinement=True, weighted_orbits=False
+        ),
+        "HTC-cosine": lambda: base.updated(
+            topology_mode="orbit", use_refinement=True, use_lisi=False
+        ),
+        "HTC-GDV": lambda: base.updated(
+            topology_mode="orbit", use_refinement=True, augment_with_gdv=True
+        ),
+    }
+    try:
+        variant_config = builders[name]()
+    except KeyError as error:
+        raise KeyError(
+            f"unknown variant {name!r}; available: {sorted(builders)}"
+        ) from error
+    aligner = HTCAligner(variant_config)
+    aligner.name = name
+    return aligner
+
+
+#: The variant names reported in the paper's Table III, in table order.
+ABLATION_VARIANTS = ("HTC-L", "HTC-H", "HTC-LT", "HTC-DT", "HTC")
+
+#: Extra design ablations covered by the extended ablation bench.
+EXTRA_ABLATION_VARIANTS = ("HTC-binary", "HTC-cosine", "HTC-GDV")
+
+
+def all_variants(config: Optional[HTCConfig] = None) -> Dict[str, HTCAligner]:
+    """Instantiate every paper variant keyed by name."""
+    return {name: make_variant(name, config) for name in ABLATION_VARIANTS}
+
+
+__all__ = [
+    "make_variant",
+    "all_variants",
+    "ABLATION_VARIANTS",
+    "EXTRA_ABLATION_VARIANTS",
+]

@@ -1,0 +1,42 @@
+"""Alignment datasets.
+
+The paper evaluates on three real-world pairs (Allmovie–Imdb, Douban
+Online–Offline, Flickr–Myspace) and two synthetic pairs (Econ, BN).  The raw
+files are not redistributable (and not downloadable offline), so this package
+provides:
+
+* :class:`GraphPair` — the alignment-task container (source graph, target
+  graph, ground-truth anchor links, optional supervised split),
+* synthetic generators calibrated to the statistics of Table I of the paper
+  (:mod:`repro.datasets.synthetic`), used as stand-ins by the benchmark
+  harness,
+* plain-text loaders/savers for users who do have the original edge lists
+  (:mod:`repro.datasets.io`),
+* a registry mapping dataset names to factories (:mod:`repro.datasets.registry`).
+"""
+
+from repro.datasets.io import load_pair, save_pair
+from repro.datasets.pair import GraphPair
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.synthetic import (
+    allmovie_imdb,
+    bn,
+    douban,
+    econ,
+    flickr_myspace,
+    synthetic_pair,
+)
+
+__all__ = [
+    "GraphPair",
+    "synthetic_pair",
+    "allmovie_imdb",
+    "douban",
+    "flickr_myspace",
+    "econ",
+    "bn",
+    "load_dataset",
+    "available_datasets",
+    "load_pair",
+    "save_pair",
+]

@@ -1,0 +1,78 @@
+"""Plain-text persistence for alignment pairs.
+
+A pair is stored as a directory of five files:
+
+* ``source.edges`` / ``target.edges`` — one ``u v`` pair per line,
+* ``source.attrs.npy`` / ``target.attrs.npy`` — dense attribute matrices,
+* ``ground_truth.txt`` — one ``source_id target_id`` anchor per line.
+
+Users holding the original paper datasets (Allmovie/Imdb, Douban, ...) can
+export them to this format and load them with :func:`load_pair`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.pair import GraphPair
+from repro.graph.builders import from_edge_list
+
+
+def save_pair(pair: GraphPair, directory: Union[str, Path]) -> Path:
+    """Serialise ``pair`` into ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    for role, graph in (("source", pair.source), ("target", pair.target)):
+        edge_lines = [f"{u} {v}" for u, v in graph.edges()]
+        (directory / f"{role}.edges").write_text(
+            "\n".join([str(graph.n_nodes)] + edge_lines) + "\n"
+        )
+        np.save(directory / f"{role}.attrs.npy", graph.attributes)
+
+    anchor_lines = [f"{i} {j}" for i, j in pair.anchor_links]
+    (directory / "ground_truth.txt").write_text("\n".join(anchor_lines) + "\n")
+    (directory / "name.txt").write_text(pair.name + "\n")
+    return directory
+
+
+def _load_graph(directory: Path, role: str, name: str):
+    lines = (directory / f"{role}.edges").read_text().strip().splitlines()
+    n_nodes = int(lines[0])
+    edges = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        u, v = line.split()
+        edges.append((int(u), int(v)))
+    attrs_path = directory / f"{role}.attrs.npy"
+    attributes = np.load(attrs_path) if attrs_path.exists() else None
+    return from_edge_list(edges, n_nodes=n_nodes, attributes=attributes, name=name)
+
+
+def load_pair(directory: Union[str, Path]) -> GraphPair:
+    """Load a pair previously written by :func:`save_pair`."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"dataset directory not found: {directory}")
+    name_file = directory / "name.txt"
+    name = name_file.read_text().strip() if name_file.exists() else directory.name
+
+    source = _load_graph(directory, "source", f"{name}-source")
+    target = _load_graph(directory, "target", f"{name}-target")
+
+    ground_truth = np.full(source.n_nodes, -1, dtype=np.int64)
+    truth_text = (directory / "ground_truth.txt").read_text().strip()
+    for line in truth_text.splitlines():
+        if not line.strip():
+            continue
+        i, j = line.split()
+        ground_truth[int(i)] = int(j)
+
+    return GraphPair(source=source, target=target, ground_truth=ground_truth, name=name)
+
+
+__all__ = ["save_pair", "load_pair"]

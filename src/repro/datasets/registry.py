@@ -1,0 +1,54 @@
+"""Name-based dataset registry used by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.pair import GraphPair
+from repro.datasets.synthetic import (
+    allmovie_imdb,
+    bn,
+    douban,
+    econ,
+    flickr_myspace,
+    tiny_pair,
+)
+
+_REGISTRY: Dict[str, Callable[..., GraphPair]] = {
+    "allmovie_imdb": allmovie_imdb,
+    "douban": douban,
+    "flickr_myspace": flickr_myspace,
+    "econ": econ,
+    "bn": bn,
+    "tiny": tiny_pair,
+}
+
+
+def available_datasets() -> List[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_REGISTRY)
+
+
+def load_dataset(name: str, **kwargs) -> GraphPair:
+    """Instantiate the dataset registered under ``name``.
+
+    Keyword arguments are forwarded to the generator (e.g. ``scale``,
+    ``random_state``, or ``edge_removal_ratio`` for the robustness datasets).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from error
+    return factory(**kwargs)
+
+
+def register_dataset(name: str, factory: Callable[..., GraphPair]) -> None:
+    """Register a custom dataset factory under ``name`` (overwrites existing)."""
+    if not callable(factory):
+        raise TypeError("factory must be callable")
+    _REGISTRY[name] = factory
+
+
+__all__ = ["available_datasets", "load_dataset", "register_dataset"]

@@ -1,0 +1,35 @@
+"""Evaluation harness: metrics, protocols, sweeps, and reporting.
+
+* :mod:`repro.eval.metrics` — precision@q and MRR (paper Eq. 16-17),
+* :mod:`repro.eval.protocol` — run a method on a pair (with the 10%
+  supervised split for supervised baselines), repeat, time, aggregate,
+* :mod:`repro.eval.robustness` — the edge-removal noise sweep of Fig. 9,
+* :mod:`repro.eval.hyperparameter` — the K/d/m/β sweeps of Fig. 10,
+* :mod:`repro.eval.ablation` — the Table III ablation runner,
+* :mod:`repro.eval.reporting` — plain-text tables/series for the benches.
+"""
+
+from repro.eval.ablation import run_ablation
+from repro.eval.hyperparameter import sweep_hyperparameter
+from repro.eval.metrics import evaluate_alignment, mean_reciprocal_rank, precision_at_q
+from repro.eval.protocol import MethodResult, run_comparison, run_method
+from repro.eval.reporting import format_series, format_table
+from repro.eval.robustness import run_robustness
+from repro.eval.significance import aggregate_runs, paired_bootstrap, per_anchor_hits
+
+__all__ = [
+    "precision_at_q",
+    "mean_reciprocal_rank",
+    "evaluate_alignment",
+    "MethodResult",
+    "run_method",
+    "run_comparison",
+    "run_robustness",
+    "sweep_hyperparameter",
+    "run_ablation",
+    "format_table",
+    "format_series",
+    "aggregate_runs",
+    "paired_bootstrap",
+    "per_anchor_hits",
+]

@@ -1,0 +1,82 @@
+"""Hyper-parameter sensitivity sweeps (paper §V-F, Fig. 10).
+
+Four sweeps are reported in the paper: the number of orbits ``K``, the
+embedding dimension ``d``, the LISI neighbourhood size ``m``, and the
+reinforcement rate ``β``.  ``sweep_hyperparameter`` runs any of them by
+rebuilding an :class:`HTCAligner` per value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.aligner import HTCAligner
+from repro.core.config import HTCConfig
+from repro.datasets.pair import GraphPair
+from repro.eval.protocol import run_method
+from repro.utils.random import RandomStateLike, check_random_state
+
+#: Sweepable hyper-parameter names and how each value maps onto the config.
+_SWEEPS = {
+    "n_orbits": lambda config, value: config.updated(orbits=tuple(range(int(value)))),
+    "embedding_dim": lambda config, value: config.updated(embedding_dim=int(value)),
+    "n_neighbors": lambda config, value: config.updated(n_neighbors=int(value)),
+    "reinforcement_rate": lambda config, value: config.updated(
+        reinforcement_rate=float(value)
+    ),
+}
+
+
+@dataclass
+class SweepPoint:
+    """One (hyper-parameter value, metrics) measurement."""
+
+    parameter: str
+    value: float
+    dataset: str
+    metrics: Dict[str, float]
+    time_seconds: float
+
+
+def sweepable_parameters() -> List[str]:
+    """Names accepted by :func:`sweep_hyperparameter`."""
+    return sorted(_SWEEPS)
+
+
+def sweep_hyperparameter(
+    parameter: str,
+    values: Sequence[float],
+    pair: GraphPair,
+    base_config: HTCConfig = None,
+    n_runs: int = 1,
+    random_state: RandomStateLike = 0,
+) -> List[SweepPoint]:
+    """Evaluate HTC on ``pair`` for every value of ``parameter``."""
+    if parameter not in _SWEEPS:
+        raise KeyError(
+            f"unknown hyper-parameter {parameter!r}; available: {sweepable_parameters()}"
+        )
+    if not values:
+        raise ValueError("values must be non-empty")
+    config = base_config if base_config is not None else HTCConfig()
+    rng = check_random_state(random_state)
+
+    points: List[SweepPoint] = []
+    for value in values:
+        variant_config = _SWEEPS[parameter](config, value)
+        aligner = HTCAligner(variant_config)
+        result = run_method(aligner, pair, n_runs=n_runs, random_state=rng)
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                value=float(value),
+                dataset=pair.name,
+                metrics=result.metrics,
+                time_seconds=result.time_seconds,
+            )
+        )
+    return points
+
+
+__all__ = ["SweepPoint", "sweep_hyperparameter", "sweepable_parameters"]

@@ -1,0 +1,82 @@
+"""Alignment quality metrics (paper §V-A, Eq. 16-17).
+
+Both metrics are computed over the ground-truth anchor links only
+(``ground_truth[i] == -1`` marks source nodes without a counterpart, which
+are skipped, matching the paper's normalisation by ``|L*|``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+
+def _validate(score_matrix: np.ndarray, ground_truth: np.ndarray) -> tuple:
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    truth = np.asarray(ground_truth, dtype=np.int64)
+    if scores.ndim != 2:
+        raise ValueError("score_matrix must be 2-D")
+    if truth.shape != (scores.shape[0],):
+        raise ValueError(
+            f"ground_truth must have shape ({scores.shape[0]},), got {truth.shape}"
+        )
+    valid = truth[truth >= 0]
+    if valid.size and valid.max() >= scores.shape[1]:
+        raise ValueError("ground_truth references a target index outside the matrix")
+    return scores, truth
+
+
+def precision_at_q(
+    score_matrix: np.ndarray, ground_truth: np.ndarray, q: int = 1
+) -> float:
+    """Fraction of anchors whose true target is within the top-``q`` candidates."""
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    scores, truth = _validate(score_matrix, ground_truth)
+    anchor_rows = np.where(truth >= 0)[0]
+    if anchor_rows.size == 0:
+        return 0.0
+    q = min(q, scores.shape[1])
+    hits = 0
+    for row in anchor_rows:
+        top = np.argpartition(-scores[row], q - 1)[:q]
+        if truth[row] in top:
+            hits += 1
+    return hits / anchor_rows.size
+
+
+def mean_reciprocal_rank(score_matrix: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Mean of ``1 / rank`` of the true target's score in each anchor's row."""
+    scores, truth = _validate(score_matrix, ground_truth)
+    anchor_rows = np.where(truth >= 0)[0]
+    if anchor_rows.size == 0:
+        return 0.0
+    reciprocal_sum = 0.0
+    for row in anchor_rows:
+        row_scores = scores[row]
+        true_score = row_scores[truth[row]]
+        # Mid-rank tie handling: rank = 1 + #strictly-better + #ties/2, so
+        # degenerate constant rows do not get a perfect reciprocal rank.
+        better = int((row_scores > true_score).sum())
+        ties = int((row_scores == true_score).sum()) - 1
+        rank = 1.0 + better + ties / 2.0
+        reciprocal_sum += 1.0 / rank
+    return reciprocal_sum / anchor_rows.size
+
+
+def evaluate_alignment(
+    score_matrix: np.ndarray,
+    ground_truth: np.ndarray,
+    precision_ks: Iterable[int] = (1, 10),
+) -> Dict[str, float]:
+    """Compute the paper's metric set for one alignment matrix."""
+    metrics = {
+        f"p@{k}": precision_at_q(score_matrix, ground_truth, q=k)
+        for k in precision_ks
+    }
+    metrics["MRR"] = mean_reciprocal_rank(score_matrix, ground_truth)
+    return metrics
+
+
+__all__ = ["precision_at_q", "mean_reciprocal_rank", "evaluate_alignment"]

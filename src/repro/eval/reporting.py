@@ -1,0 +1,116 @@
+"""Plain-text reporting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting consistent and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(rows: Iterable[Dict[str, object]], title: str = "") -> str:
+    """Render dict rows as an aligned plain-text table."""
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), *(len(fmt(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(fmt(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as aligned text (one block per series)."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        lines.append(f"[{name}]")
+        lines.append(f"  {x_label:>10} | {y_label}")
+        for x, y in points:
+            lines.append(f"  {x:>10.3f} | {y:.4f}")
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Iterable[Dict[str, object]]) -> str:
+    """Serialise dict rows to CSV text (header from the union of keys)."""
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def escape(value: object) -> str:
+        text = "" if value is None else str(value)
+        if any(ch in text for ch in (",", '"', "\n")):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(escape(row.get(column, "")) for column in columns))
+    return "\n".join(lines) + "\n"
+
+
+def save_rows(rows: Iterable[Dict[str, object]], path) -> None:
+    """Write rows to ``path`` as CSV (``.csv``) or JSON lines (anything else)."""
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    rows = [dict(row) for row in rows]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix.lower() == ".csv":
+        path.write_text(rows_to_csv(rows))
+    else:
+        path.write_text("\n".join(json.dumps(row) for row in rows) + "\n")
+
+
+def format_importance_ranking(importance: Dict[int, float], title: str = "") -> str:
+    """Render an orbit-importance ranking (the Fig. 6 bar chart, textually)."""
+    lines = [title] if title else []
+    ranked = sorted(importance.items(), key=lambda kv: -kv[1])
+    for orbit, gamma in ranked:
+        bar = "#" * max(1, int(round(gamma * 50)))
+        lines.append(f"  orbit {orbit:>2}  gamma={gamma:.4f}  {bar}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_importance_ranking",
+    "rows_to_csv",
+    "save_rows",
+]

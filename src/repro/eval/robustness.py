@@ -1,0 +1,83 @@
+"""Robustness sweep against structural noise (paper §V-D, Fig. 9).
+
+The target network is regenerated from the source with edge-removal ratios
+from 10% to 50%; every method's precision@1 is measured at each noise level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.datasets.pair import GraphPair
+from repro.eval.protocol import MethodResult, run_method
+from repro.utils.random import RandomStateLike, check_random_state
+
+
+@dataclass
+class RobustnessPoint:
+    """One (method, noise level) measurement."""
+
+    method: str
+    dataset: str
+    noise_ratio: float
+    metrics: Dict[str, float]
+    time_seconds: float
+
+
+def run_robustness(
+    aligners: Iterable,
+    dataset_factory: Callable[..., GraphPair],
+    noise_ratios: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    train_ratio: float = 0.1,
+    n_runs: int = 1,
+    random_state: RandomStateLike = 0,
+    **dataset_kwargs,
+) -> List[RobustnessPoint]:
+    """Sweep noise levels for every method.
+
+    ``dataset_factory`` must accept an ``edge_removal_ratio`` keyword (the
+    ``econ`` and ``bn`` factories do).
+    """
+    aligners = list(aligners)
+    rng = check_random_state(random_state)
+    points: List[RobustnessPoint] = []
+    for ratio in noise_ratios:
+        if not 0.0 <= ratio < 1.0:
+            raise ValueError(f"noise ratios must be in [0, 1), got {ratio}")
+        pair = dataset_factory(edge_removal_ratio=ratio, **dataset_kwargs)
+        for aligner in aligners:
+            result: MethodResult = run_method(
+                aligner,
+                pair,
+                train_ratio=train_ratio,
+                n_runs=n_runs,
+                random_state=rng,
+            )
+            points.append(
+                RobustnessPoint(
+                    method=result.method,
+                    dataset=pair.name,
+                    noise_ratio=float(ratio),
+                    metrics=result.metrics,
+                    time_seconds=result.time_seconds,
+                )
+            )
+    return points
+
+
+def degradation(points: List[RobustnessPoint], method: str, metric: str = "p@1") -> float:
+    """Performance drop of ``method`` between the lowest and highest noise level.
+
+    This is the quantity the paper uses to argue robustness (e.g. HTC degrades
+    by 0.24 on Econ while PALE degrades by 0.43).
+    """
+    series = sorted(
+        (p for p in points if p.method == method), key=lambda p: p.noise_ratio
+    )
+    if len(series) < 2:
+        raise ValueError(f"need at least two noise levels for method {method!r}")
+    return series[0].metrics[metric] - series[-1].metrics[metric]
+
+
+__all__ = ["RobustnessPoint", "run_robustness", "degradation"]

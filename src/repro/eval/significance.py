@@ -1,0 +1,142 @@
+"""Multi-run aggregation and significance testing.
+
+The paper reports metrics averaged over 20 runs.  These helpers make that
+protocol explicit: ``aggregate_runs`` collects per-run metrics into mean/std
+summaries, and ``paired_bootstrap`` tests whether one method's advantage over
+another on the same set of anchors is statistically meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.utils.random import RandomStateLike, check_random_state
+
+
+@dataclass
+class AggregatedMetric:
+    """Mean/std/min/max of one metric over repeated runs."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n_runs: int
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.4f} ± {self.std:.4f} (n={self.n_runs})"
+
+
+def aggregate_runs(per_run_metrics: Sequence[Dict[str, float]]) -> Dict[str, AggregatedMetric]:
+    """Aggregate a list of per-run metric dicts into per-metric summaries."""
+    if not per_run_metrics:
+        raise ValueError("per_run_metrics must not be empty")
+    names = set(per_run_metrics[0])
+    for run in per_run_metrics:
+        if set(run) != names:
+            raise ValueError("every run must report the same metrics")
+    aggregated = {}
+    for name in sorted(names):
+        values = np.array([run[name] for run in per_run_metrics], dtype=np.float64)
+        aggregated[name] = AggregatedMetric(
+            name=name,
+            mean=float(values.mean()),
+            std=float(values.std(ddof=0)),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            n_runs=len(values),
+        )
+    return aggregated
+
+
+def per_anchor_hits(
+    score_matrix: np.ndarray, ground_truth: np.ndarray, q: int = 1
+) -> np.ndarray:
+    """Per-anchor 0/1 indicators of whether the true target is in the top-``q``.
+
+    This is the anchor-level decomposition of precision@q needed for paired
+    significance tests.
+    """
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    truth = np.asarray(ground_truth, dtype=np.int64)
+    anchor_rows = np.where(truth >= 0)[0]
+    q = min(q, scores.shape[1])
+    hits = np.zeros(anchor_rows.size, dtype=np.float64)
+    for index, row in enumerate(anchor_rows):
+        top = np.argpartition(-scores[row], q - 1)[:q]
+        hits[index] = 1.0 if truth[row] in top else 0.0
+    return hits
+
+
+def paired_bootstrap(
+    hits_a: np.ndarray,
+    hits_b: np.ndarray,
+    n_resamples: int = 2000,
+    random_state: RandomStateLike = 0,
+) -> Dict[str, float]:
+    """Paired bootstrap comparison of two methods' per-anchor hit vectors.
+
+    Returns the observed difference in accuracy (A minus B) and the bootstrap
+    probability that A is at least as good as B (``p_a_geq_b``).  A value
+    close to 1.0 means A's advantage is consistent across resamples.
+    """
+    hits_a = np.asarray(hits_a, dtype=np.float64)
+    hits_b = np.asarray(hits_b, dtype=np.float64)
+    if hits_a.shape != hits_b.shape:
+        raise ValueError("hit vectors must have the same shape (same anchors)")
+    if hits_a.size == 0:
+        raise ValueError("hit vectors must be non-empty")
+    if n_resamples < 1:
+        raise ValueError(f"n_resamples must be >= 1, got {n_resamples}")
+    rng = check_random_state(random_state)
+
+    n = hits_a.size
+    observed = float(hits_a.mean() - hits_b.mean())
+    wins = 0
+    for _ in range(n_resamples):
+        sample = rng.integers(0, n, size=n)
+        if hits_a[sample].mean() >= hits_b[sample].mean():
+            wins += 1
+    return {
+        "difference": observed,
+        "p_a_geq_b": wins / n_resamples,
+        "n_anchors": float(n),
+        "n_resamples": float(n_resamples),
+    }
+
+
+def compare_methods_on_pair(
+    aligner_a,
+    aligner_b,
+    pair,
+    q: int = 1,
+    train_ratio: float = 0.1,
+    n_resamples: int = 2000,
+    random_state: RandomStateLike = 0,
+) -> Dict[str, float]:
+    """Convenience wrapper: align with both methods and bootstrap-compare them."""
+    rng = check_random_state(random_state)
+    results = []
+    for aligner in (aligner_a, aligner_b):
+        train_anchors = None
+        if getattr(aligner, "requires_supervision", False):
+            train_anchors, _ = pair.split_anchors(train_ratio, random_state=rng)
+        raw = aligner.align(pair, train_anchors=train_anchors)
+        matrix = raw.alignment_matrix if hasattr(raw, "alignment_matrix") else raw
+        results.append(per_anchor_hits(matrix, pair.ground_truth, q=q))
+    return paired_bootstrap(
+        results[0], results[1], n_resamples=n_resamples, random_state=rng
+    )
+
+
+__all__ = [
+    "AggregatedMetric",
+    "aggregate_runs",
+    "per_anchor_hits",
+    "paired_bootstrap",
+    "compare_methods_on_pair",
+]

@@ -1,0 +1,53 @@
+"""Attributed-graph substrate.
+
+This package provides the in-memory representation of an attributed network
+``G = (V, A, X)`` used throughout the library, together with
+
+* builders from edge lists and :mod:`networkx` graphs,
+* the orbit-aware Laplacian construction from the paper (Eq. 3 self
+  connections + symmetric normalisation),
+* structural perturbation (edge removal, node permutation, attribute noise)
+  used to synthesise target networks,
+* graph diffusion matrices (personalised PageRank / heat kernel) used by the
+  HTC-DT ablation, and
+* random graph generators used by the synthetic datasets.
+"""
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import from_edge_list, from_networkx, to_networkx
+from repro.graph.diffusion import heat_kernel_matrix, ppr_matrix
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    sbm_graph,
+)
+from repro.graph.laplacian import (
+    normalized_laplacian,
+    orbit_laplacian,
+    self_connection_matrix,
+)
+from repro.graph.perturbation import (
+    add_attribute_noise,
+    permute_graph,
+    remove_edges,
+)
+from repro.graph.validation import validate_graph
+
+__all__ = [
+    "AttributedGraph",
+    "from_edge_list",
+    "from_networkx",
+    "to_networkx",
+    "normalized_laplacian",
+    "self_connection_matrix",
+    "orbit_laplacian",
+    "remove_edges",
+    "permute_graph",
+    "add_attribute_noise",
+    "ppr_matrix",
+    "heat_kernel_matrix",
+    "erdos_renyi_graph",
+    "powerlaw_cluster_graph",
+    "sbm_graph",
+    "validate_graph",
+]

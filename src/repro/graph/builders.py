@@ -1,0 +1,86 @@
+"""Constructors converting external graph formats to :class:`AttributedGraph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.sparse import sparse_from_edges
+
+
+def from_edge_list(
+    edges: Iterable[Tuple[int, int]],
+    n_nodes: Optional[int] = None,
+    attributes: Optional[np.ndarray] = None,
+    name: str = "graph",
+) -> AttributedGraph:
+    """Build an :class:`AttributedGraph` from an integer edge list.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs; node ids must be non-negative integers.
+    n_nodes:
+        Total node count.  If omitted it is inferred as ``max(node id) + 1``.
+    attributes:
+        Optional ``(n_nodes, d)`` attribute matrix.
+    """
+    edge_list = [(int(u), int(v)) for u, v in edges]
+    if n_nodes is None:
+        if not edge_list:
+            raise ValueError("cannot infer n_nodes from an empty edge list")
+        n_nodes = max(max(u, v) for u, v in edge_list) + 1
+    adjacency = sparse_from_edges(edge_list, n_nodes)
+    adjacency.data[:] = 1.0
+    return AttributedGraph(adjacency, attributes, name=name)
+
+
+def from_networkx(
+    graph: nx.Graph,
+    attribute_keys: Optional[Sequence[str]] = None,
+    attributes: Optional[np.ndarray] = None,
+    name: Optional[str] = None,
+) -> AttributedGraph:
+    """Convert an undirected :class:`networkx.Graph`.
+
+    Nodes are relabelled to ``0..n-1`` in sorted node order.  Attributes come
+    either from an explicit ``attributes`` matrix or by stacking the numeric
+    node-attribute values listed in ``attribute_keys``.
+    """
+    if graph.is_directed():
+        graph = graph.to_undirected()
+    nodes = sorted(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in graph.edges() if u != v]
+
+    if attributes is None and attribute_keys:
+        rows = []
+        for node in nodes:
+            data = graph.nodes[node]
+            rows.append([float(data[key]) for key in attribute_keys])
+        attributes = np.asarray(rows, dtype=np.float64)
+
+    graph_name = name if name is not None else str(graph.name or "graph")
+    if not edges:
+        import scipy.sparse as sp
+
+        adjacency = sp.csr_matrix((len(nodes), len(nodes)), dtype=np.float64)
+        return AttributedGraph(adjacency, attributes, name=graph_name)
+    return from_edge_list(edges, n_nodes=len(nodes), attributes=attributes, name=graph_name)
+
+
+def to_networkx(graph: AttributedGraph, include_attributes: bool = False) -> nx.Graph:
+    """Convert an :class:`AttributedGraph` back to a :class:`networkx.Graph`."""
+    nx_graph = nx.Graph(name=graph.name)
+    nx_graph.add_nodes_from(range(graph.n_nodes))
+    nx_graph.add_edges_from(graph.edges())
+    if include_attributes:
+        for node in range(graph.n_nodes):
+            nx_graph.nodes[node]["x"] = graph.attributes[node].copy()
+    return nx_graph
+
+
+__all__ = ["from_edge_list", "from_networkx", "to_networkx"]

@@ -1,0 +1,73 @@
+"""Graph validation helpers.
+
+``validate_graph`` performs structural sanity checks that catch the most
+common data errors (asymmetry, self loops, NaN attributes) before a graph
+enters the alignment pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.utils.sparse import is_symmetric
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_graph`."""
+
+    valid: bool
+    issues: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def validate_graph(graph: AttributedGraph, strict: bool = False) -> ValidationReport:
+    """Check structural invariants of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to validate.
+    strict:
+        If True, raise ``ValueError`` on the first issue instead of returning
+        a report.
+    """
+    issues: List[str] = []
+
+    adjacency = graph.adjacency
+    if adjacency.shape[0] != adjacency.shape[1]:
+        issues.append(f"adjacency is not square: {adjacency.shape}")
+    if not is_symmetric(adjacency):
+        issues.append("adjacency is not symmetric")
+    if adjacency.diagonal().any():
+        issues.append("adjacency has self loops")
+    if adjacency.nnz and adjacency.data.min() < 0:
+        issues.append("adjacency has negative weights")
+
+    attributes = graph.attributes
+    if attributes.shape[0] != graph.n_nodes:
+        issues.append(
+            f"attribute rows ({attributes.shape[0]}) != node count ({graph.n_nodes})"
+        )
+    if not np.isfinite(attributes).all():
+        issues.append("attributes contain NaN or infinite values")
+
+    isolated = int((graph.degrees == 0).sum())
+    if isolated:
+        issues.append(f"{isolated} isolated node(s)")
+
+    # Isolated nodes are a warning, not an error: the pipeline handles them.
+    hard_issues = [issue for issue in issues if "isolated" not in issue]
+    report = ValidationReport(valid=not hard_issues, issues=issues)
+    if strict and hard_issues:
+        raise ValueError("invalid graph: " + "; ".join(hard_issues))
+    return report
+
+
+__all__ = ["ValidationReport", "validate_graph"]

@@ -1,0 +1,182 @@
+"""Functional operations on :class:`repro.nn.Tensor`.
+
+These cover exactly what the library's models need: non-linearities, matrix
+products (including the sparse-constant product used for Laplacian
+propagation), reductions, and the Frobenius reconstruction loss used by the
+multi-orbit-aware trainer (Eq. 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.tensor import Tensor
+
+
+def relu(tensor: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    mask = tensor.data > 0
+    out = Tensor(
+        tensor.data * mask, requires_grad=tensor.requires_grad, _parents=(tensor,)
+    )
+
+    def backward(gradient: np.ndarray) -> None:
+        if tensor.requires_grad:
+            tensor._accumulate(gradient * mask)
+
+    out._backward = backward
+    return out
+
+
+def tanh(tensor: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    value = np.tanh(tensor.data)
+    out = Tensor(value, requires_grad=tensor.requires_grad, _parents=(tensor,))
+
+    def backward(gradient: np.ndarray) -> None:
+        if tensor.requires_grad:
+            tensor._accumulate(gradient * (1.0 - value**2))
+
+    out._backward = backward
+    return out
+
+
+def sigmoid(tensor: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    value = 1.0 / (1.0 + np.exp(-tensor.data))
+    out = Tensor(value, requires_grad=tensor.requires_grad, _parents=(tensor,))
+
+    def backward(gradient: np.ndarray) -> None:
+        if tensor.requires_grad:
+            tensor._accumulate(gradient * value * (1.0 - value))
+
+    out._backward = backward
+    return out
+
+
+def identity(tensor: Tensor) -> Tensor:
+    """Identity activation (useful as the last encoder layer)."""
+    return tensor
+
+
+ACTIVATIONS = {
+    "relu": relu,
+    "tanh": tanh,
+    "sigmoid": sigmoid,
+    "identity": identity,
+    "linear": identity,
+}
+
+
+def get_activation(name: str):
+    """Look up an activation function by name."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown activation {name!r}; available: {sorted(ACTIVATIONS)}"
+        ) from error
+
+
+def matmul(left: Tensor, right: Tensor) -> Tensor:
+    """Dense matrix product (differentiable in both arguments)."""
+    return left @ right
+
+
+def sparse_matmul(sparse: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Product ``S @ H`` where ``S`` is a constant scipy sparse matrix.
+
+    Gradients flow only to ``dense``: ``dL/dH = S^T @ dL/dY``.  This is the
+    propagation step ``~L H`` of every GCN layer in the library.
+    """
+    if not sp.issparse(sparse):
+        raise TypeError("sparse_matmul expects a scipy sparse matrix on the left")
+    sparse = sparse.tocsr()
+    out = Tensor(
+        sparse.dot(dense.data), requires_grad=dense.requires_grad, _parents=(dense,)
+    )
+
+    def backward(gradient: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate(sparse.T.dot(gradient))
+
+    out._backward = backward
+    return out
+
+
+def square(tensor: Tensor) -> Tensor:
+    """Element-wise square."""
+    return tensor * tensor
+
+
+def sum_all(tensor: Tensor) -> Tensor:
+    """Sum of all elements (scalar tensor)."""
+    return tensor.sum()
+
+
+def mean(tensor: Tensor) -> Tensor:
+    """Mean of all elements (scalar tensor)."""
+    return tensor.mean()
+
+
+def softmax_rows(tensor: Tensor) -> Tensor:
+    """Row-wise softmax (differentiable), used by attention-style baselines."""
+    shifted = tensor.data - tensor.data.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    value = exp / exp.sum(axis=1, keepdims=True)
+    out = Tensor(value, requires_grad=tensor.requires_grad, _parents=(tensor,))
+
+    def backward(gradient: np.ndarray) -> None:
+        if tensor.requires_grad:
+            dot = (gradient * value).sum(axis=1, keepdims=True)
+            tensor._accumulate(value * (gradient - dot))
+
+    out._backward = backward
+    return out
+
+
+def frobenius_loss(reconstruction: Tensor, target: Union[np.ndarray, sp.spmatrix]) -> Tensor:
+    """Frobenius-norm reconstruction loss ``||target - reconstruction||_F``.
+
+    ``target`` is a constant (dense array or sparse matrix densified once).
+    A small epsilon keeps the square root differentiable at zero.
+    """
+    if sp.issparse(target):
+        target = np.asarray(target.todense())
+    target = np.asarray(target, dtype=np.float64)
+    if target.shape != reconstruction.shape:
+        raise ValueError(
+            f"target shape {target.shape} != reconstruction shape {reconstruction.shape}"
+        )
+    diff = reconstruction - Tensor(target)
+    squared = (diff * diff).sum()
+    return (squared + 1e-12) ** 0.5
+
+
+def mse_loss(prediction: Tensor, target: Union[np.ndarray, Tensor]) -> Tensor:
+    """Mean squared error between ``prediction`` and a constant ``target``."""
+    if isinstance(target, Tensor):
+        target = target.data
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+__all__ = [
+    "relu",
+    "tanh",
+    "sigmoid",
+    "identity",
+    "get_activation",
+    "ACTIVATIONS",
+    "matmul",
+    "sparse_matmul",
+    "square",
+    "sum_all",
+    "mean",
+    "softmax_rows",
+    "frobenius_loss",
+    "mse_loss",
+]

@@ -1,0 +1,26 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import RandomStateLike, check_random_state
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, random_state: RandomStateLike = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
+    rng = check_random_state(random_state)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zero initialisation."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+__all__ = ["glorot_uniform", "zeros"]

@@ -1,0 +1,304 @@
+"""A numpy-backed tensor with reverse-mode automatic differentiation.
+
+The design follows the classic "define-by-run tape" pattern: every operation
+creates a new :class:`Tensor` that remembers its parent tensors and a local
+backward closure.  ``Tensor.backward()`` topologically sorts the graph and
+accumulates gradients into ``.grad`` for every tensor that requires them.
+
+Only the operations needed by the library's models are implemented; they all
+support the broadcasting rules numpy applies in the forward pass (gradients
+are "unbroadcast" by summing over the broadcast axes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``gradient`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if gradient.shape == shape:
+        return gradient
+    # Remove leading broadcast axes.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Sum over axes that were expanded from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient.reshape(shape)
+
+
+class Tensor:
+    """A differentiable numpy array.
+
+    Parameters
+    ----------
+    data:
+        Array-like numeric data (converted to ``float64``).
+    requires_grad:
+        Whether gradients should be accumulated for this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Iterable["Tensor"] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: Tuple["Tensor", ...] = tuple(_parents)
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # shape helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # autograd machinery
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        gradient = _unbroadcast(np.asarray(gradient, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = gradient.copy()
+        else:
+            self.grad = self.grad + gradient
+
+    def backward(self, gradient: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``gradient`` defaults to 1.0 and is only optional for scalar tensors.
+        """
+        if gradient is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar tensor"
+                )
+            gradient = np.ones_like(self.data)
+
+        topo_order: List[Tensor] = []
+        visited: Set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo_order.append(node)
+
+        visit(self)
+        self._accumulate(np.asarray(gradient, dtype=np.float64))
+        for node in reversed(topo_order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # arithmetic operators (elementwise, broadcasting)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wrap(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._wrap(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient)
+            if other.requires_grad:
+                other._accumulate(gradient)
+
+        out._backward = backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data, requires_grad=self.requires_grad, _parents=(self,))
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-gradient)
+
+        out._backward = backward
+        return out
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self + (-self._wrap(other))
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._wrap(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._wrap(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient * other.data)
+            if other.requires_grad:
+                other._accumulate(gradient * self.data)
+
+        out._backward = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._wrap(other)
+        out = Tensor(
+            self.data / other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient / other.data)
+            if other.requires_grad:
+                other._accumulate(-gradient * self.data / (other.data**2))
+
+        out._backward = backward
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor(
+            self.data**exponent, requires_grad=self.requires_grad, _parents=(self,)
+        )
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient * exponent * self.data ** (exponent - 1))
+
+        out._backward = backward
+        return out
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._wrap(other)
+        out = Tensor(
+            self.data @ other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+        )
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ gradient)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # shape ops and reductions
+    # ------------------------------------------------------------------
+    @property
+    def T(self) -> "Tensor":
+        """Matrix transpose (2-D tensors)."""
+        out = Tensor(self.data.T, requires_grad=self.requires_grad, _parents=(self,))
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient.T)
+
+        out._backward = backward
+        return out
+
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (or everything)."""
+        out = Tensor(
+            self.data.sum(axis=axis, keepdims=keepdims),
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+        )
+
+        def backward(gradient: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(gradient)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        out._backward = backward
+        return out
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (or everything)."""
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape, keeping the autograd connection."""
+        out = Tensor(
+            self.data.reshape(*shape), requires_grad=self.requires_grad, _parents=(self,)
+        )
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient.reshape(self.data.shape))
+
+        out._backward = backward
+        return out
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad_flag})"
+
+
+__all__ = ["Tensor"]

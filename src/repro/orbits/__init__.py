@@ -1,0 +1,39 @@
+"""Graphlet and orbit counting substrate.
+
+The paper defines higher-order topological consistency on *edge orbits* of the
+nine connected graphlets with 2–4 nodes (13 edge orbits in total, Fig. 4).
+This package provides:
+
+* :mod:`repro.orbits.graphlets` — the graphlet catalogue: templates, names,
+  node-orbit and edge-orbit labellings,
+* :mod:`repro.orbits.edge_orbits` — the fast combinatorial edge-orbit counter
+  (the role Orca plays in the paper),
+* :mod:`repro.orbits.brute_force` — an independent reference counter based on
+  induced-subgraph enumeration and template isomorphism, used in tests,
+* :mod:`repro.orbits.node_orbits` — node graphlet-degree-vector counting,
+* :mod:`repro.orbits.orbit_matrix` — Graphlet Orbit Matrix (GOM) construction
+  (Eq. 1), weighted or binary.
+"""
+
+from repro.orbits.edge_orbits import EdgeOrbitCounts, count_edge_orbits
+from repro.orbits.graphlets import (
+    EDGE_ORBIT_COUNT,
+    EDGE_ORBIT_NAMES,
+    GRAPHLET_NAMES,
+    NODE_ORBIT_COUNT,
+    graphlet_templates,
+)
+from repro.orbits.node_orbits import count_node_orbits
+from repro.orbits.orbit_matrix import build_orbit_matrices
+
+__all__ = [
+    "EDGE_ORBIT_COUNT",
+    "NODE_ORBIT_COUNT",
+    "EDGE_ORBIT_NAMES",
+    "GRAPHLET_NAMES",
+    "graphlet_templates",
+    "count_edge_orbits",
+    "EdgeOrbitCounts",
+    "count_node_orbits",
+    "build_orbit_matrices",
+]

@@ -1,0 +1,89 @@
+"""Reference orbit counters based on exhaustive induced-subgraph enumeration.
+
+These counters are deliberately independent of the fast combinatorial
+implementation in :mod:`repro.orbits.edge_orbits`: every connected induced
+subgraph on 2-4 nodes is enumerated and matched against the annotated
+graphlet templates with a VF2 isomorphism search, and the orbit label is read
+off the matched template edge/node.  They are quadratic-to-quartic in the
+node count and are only intended for tests and tiny illustrative graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+from networkx.algorithms.isomorphism import GraphMatcher
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import to_networkx
+from repro.orbits.edge_orbits import EdgeOrbitCounts
+from repro.orbits.graphlets import (
+    EDGE_ORBIT_COUNT,
+    NODE_ORBIT_COUNT,
+    graphlet_templates,
+)
+
+
+def _match_template(subgraph: nx.Graph) -> Tuple[nx.Graph, Dict[int, int]]:
+    """Return the template isomorphic to ``subgraph`` and a node mapping.
+
+    The mapping sends subgraph nodes to template nodes.  Raises ``ValueError``
+    if no template matches (which would indicate a non-graphlet subgraph).
+    """
+    for template in graphlet_templates():
+        if template.number_of_nodes() != subgraph.number_of_nodes():
+            continue
+        if template.number_of_edges() != subgraph.number_of_edges():
+            continue
+        matcher = GraphMatcher(subgraph, template)
+        if matcher.is_isomorphic():
+            return template, dict(matcher.mapping)
+    raise ValueError("subgraph does not match any 2-4 node graphlet template")
+
+
+def _connected_subsets(graph: nx.Graph, size: int) -> List[Tuple[int, ...]]:
+    """All node subsets of ``size`` whose induced subgraph is connected."""
+    subsets = []
+    for nodes in combinations(sorted(graph.nodes()), size):
+        sub = graph.subgraph(nodes)
+        if nx.is_connected(sub):
+            subsets.append(nodes)
+    return subsets
+
+
+def brute_force_edge_orbits(graph: AttributedGraph) -> EdgeOrbitCounts:
+    """Exhaustively count edge-orbit occurrences for every edge of ``graph``."""
+    nx_graph = to_networkx(graph)
+    edges = graph.edge_list()
+    edge_index = {edge: i for i, edge in enumerate(edges)}
+    counts = np.zeros((len(edges), EDGE_ORBIT_COUNT), dtype=np.int64)
+
+    for size in (2, 3, 4):
+        for nodes in _connected_subsets(nx_graph, size):
+            subgraph = nx_graph.subgraph(nodes)
+            template, mapping = _match_template(subgraph)
+            for u, v in subgraph.edges():
+                orbit = template.edges[mapping[u], mapping[v]]["edge_orbit"]
+                key = (u, v) if u < v else (v, u)
+                counts[edge_index[key], orbit] += 1
+    return EdgeOrbitCounts(edges=edges, counts=counts)
+
+
+def brute_force_node_orbits(graph: AttributedGraph) -> np.ndarray:
+    """Exhaustively count node-orbit occurrences (graphlet degree vectors)."""
+    nx_graph = to_networkx(graph)
+    counts = np.zeros((graph.n_nodes, NODE_ORBIT_COUNT), dtype=np.int64)
+    for size in (2, 3, 4):
+        for nodes in _connected_subsets(nx_graph, size):
+            subgraph = nx_graph.subgraph(nodes)
+            template, mapping = _match_template(subgraph)
+            for node in nodes:
+                orbit = template.nodes[mapping[node]]["node_orbit"]
+                counts[node, orbit] += 1
+    return counts
+
+
+__all__ = ["brute_force_edge_orbits", "brute_force_node_orbits"]

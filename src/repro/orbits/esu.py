@@ -1,0 +1,80 @@
+"""ESU (Wernicke's) enumeration of connected induced subgraphs.
+
+``enumerate_connected_subgraphs`` yields every connected induced subgraph of a
+given size exactly once.  It is used by the node-orbit counter and is exposed
+as a reusable substrate because motif-style analyses frequently need it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Set, Tuple
+
+
+def enumerate_connected_subgraphs(
+    adjacency_sets: Sequence[Set[int]], size: int
+) -> Iterator[Tuple[int, ...]]:
+    """Yield each connected induced subgraph of ``size`` nodes exactly once.
+
+    Parameters
+    ----------
+    adjacency_sets:
+        Per-node neighbour sets (as produced by
+        :meth:`repro.graph.AttributedGraph.adjacency_sets`).
+    size:
+        Number of nodes per subgraph (>= 1).
+
+    Yields
+    ------
+    tuple of int
+        Sorted node tuples, one per connected induced subgraph.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    n = len(adjacency_sets)
+    if size == 1:
+        for v in range(n):
+            yield (v,)
+        return
+
+    for v in range(n):
+        extension = {u for u in adjacency_sets[v] if u > v}
+        yield from _extend_subgraph(
+            adjacency_sets, [v], extension, v, size
+        )
+
+
+def _extend_subgraph(
+    adjacency_sets: Sequence[Set[int]],
+    subgraph: List[int],
+    extension: Set[int],
+    root: int,
+    size: int,
+) -> Iterator[Tuple[int, ...]]:
+    if len(subgraph) == size:
+        yield tuple(sorted(subgraph))
+        return
+
+    # Neighbourhood of the current subgraph (nodes adjacent to any member).
+    subgraph_set = set(subgraph)
+    neighbourhood = set()
+    for node in subgraph:
+        neighbourhood |= adjacency_sets[node]
+    neighbourhood -= subgraph_set
+
+    extension = set(extension)
+    while extension:
+        w = extension.pop()
+        # Exclusive neighbours of w: adjacent to w, greater than the root, and
+        # not already adjacent to the current subgraph (that keeps each
+        # subgraph generated exactly once).
+        exclusive = {
+            u
+            for u in adjacency_sets[w]
+            if u > root and u not in subgraph_set and u not in neighbourhood
+        }
+        yield from _extend_subgraph(
+            adjacency_sets, subgraph + [w], extension | exclusive, root, size
+        )
+
+
+__all__ = ["enumerate_connected_subgraphs"]

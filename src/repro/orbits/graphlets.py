@@ -1,0 +1,185 @@
+"""Catalogue of the nine connected graphlets on 2-4 nodes.
+
+Each graphlet template is a small :class:`networkx.Graph` whose nodes carry a
+``node_orbit`` attribute and whose edges carry an ``edge_orbit`` attribute.
+The numbering follows the layout of the paper's Fig. 4 (9 graphlets, 13 edge
+orbits) and the standard Pržulj node-orbit numbering (15 node orbits):
+
+========  =======================  ==================  =====================
+Graphlet  Name                     Edge orbits         Node orbits
+========  =======================  ==================  =====================
+G0        edge                     0                   0
+G1        two-edge chain (P3)      1                   1 (end), 2 (middle)
+G2        triangle                 2                   3
+G3        three-edge chain (P4)    3 (end), 4 (mid)    4 (end), 5 (middle)
+G4        star (K1,3)              5                   6 (leaf), 7 (centre)
+G5        quadrangle (C4)          6                   8
+G6        tailed triangle (paw)    7 (tail),           9 (pendant),
+                                   8 (incident),       10 (far triangle),
+                                   9 (opposite)        11 (attachment)
+G7        diagonal quadrangle      10 (outer),         12 (degree-2),
+          (diamond)                11 (diagonal)       13 (degree-3)
+G8        clique (K4)              12                  14
+========  =======================  ==================  =====================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+#: Number of edge orbits over graphlets with 2-4 nodes.
+EDGE_ORBIT_COUNT = 13
+
+#: Number of node orbits over graphlets with 2-4 nodes.
+NODE_ORBIT_COUNT = 15
+
+#: Human-readable graphlet names, indexed by graphlet id.
+GRAPHLET_NAMES: Tuple[str, ...] = (
+    "edge",
+    "two-edge chain",
+    "triangle",
+    "three-edge chain",
+    "star",
+    "quadrangle",
+    "tailed triangle",
+    "diagonal quadrangle",
+    "clique",
+)
+
+#: Human-readable edge-orbit descriptions, indexed by edge-orbit id.
+EDGE_ORBIT_NAMES: Tuple[str, ...] = (
+    "edge of the single-edge graphlet",
+    "edge of the two-edge chain",
+    "edge of the triangle",
+    "end edge of the three-edge chain",
+    "middle edge of the three-edge chain",
+    "edge of the star",
+    "edge of the quadrangle",
+    "tail edge of the tailed triangle",
+    "triangle edge of the tailed triangle incident to the tailed node",
+    "triangle edge of the tailed triangle opposite the tail",
+    "outer edge of the diagonal quadrangle",
+    "diagonal edge of the diagonal quadrangle",
+    "edge of the clique",
+)
+
+#: Which graphlet each edge orbit belongs to.
+EDGE_ORBIT_GRAPHLET: Tuple[int, ...] = (0, 1, 2, 3, 3, 4, 5, 6, 6, 6, 7, 7, 8)
+
+#: Which graphlet each node orbit belongs to.
+NODE_ORBIT_GRAPHLET: Tuple[int, ...] = (0, 1, 1, 2, 3, 3, 4, 4, 5, 6, 6, 6, 7, 7, 8)
+
+
+def _template(
+    edges: List[Tuple[int, int]],
+    edge_orbits: Dict[Tuple[int, int], int],
+    node_orbits: Dict[int, int],
+    name: str,
+) -> nx.Graph:
+    graph = nx.Graph(name=name)
+    nodes = sorted(node_orbits)
+    graph.add_nodes_from(nodes)
+    for node, orbit in node_orbits.items():
+        graph.nodes[node]["node_orbit"] = orbit
+    for u, v in edges:
+        key = (u, v) if (u, v) in edge_orbits else (v, u)
+        graph.add_edge(u, v, edge_orbit=edge_orbits[key])
+    return graph
+
+
+def graphlet_templates() -> List[nx.Graph]:
+    """Return the nine annotated graphlet templates (G0 .. G8)."""
+    templates = [
+        # G0: single edge
+        _template(
+            edges=[(0, 1)],
+            edge_orbits={(0, 1): 0},
+            node_orbits={0: 0, 1: 0},
+            name="edge",
+        ),
+        # G1: two-edge chain, middle node is 1
+        _template(
+            edges=[(0, 1), (1, 2)],
+            edge_orbits={(0, 1): 1, (1, 2): 1},
+            node_orbits={0: 1, 1: 2, 2: 1},
+            name="two-edge chain",
+        ),
+        # G2: triangle
+        _template(
+            edges=[(0, 1), (1, 2), (0, 2)],
+            edge_orbits={(0, 1): 2, (1, 2): 2, (0, 2): 2},
+            node_orbits={0: 3, 1: 3, 2: 3},
+            name="triangle",
+        ),
+        # G3: three-edge chain 0-1-2-3
+        _template(
+            edges=[(0, 1), (1, 2), (2, 3)],
+            edge_orbits={(0, 1): 3, (1, 2): 4, (2, 3): 3},
+            node_orbits={0: 4, 1: 5, 2: 5, 3: 4},
+            name="three-edge chain",
+        ),
+        # G4: star with centre 0
+        _template(
+            edges=[(0, 1), (0, 2), (0, 3)],
+            edge_orbits={(0, 1): 5, (0, 2): 5, (0, 3): 5},
+            node_orbits={0: 7, 1: 6, 2: 6, 3: 6},
+            name="star",
+        ),
+        # G5: quadrangle 0-1-2-3-0
+        _template(
+            edges=[(0, 1), (1, 2), (2, 3), (0, 3)],
+            edge_orbits={(0, 1): 6, (1, 2): 6, (2, 3): 6, (0, 3): 6},
+            node_orbits={0: 8, 1: 8, 2: 8, 3: 8},
+            name="quadrangle",
+        ),
+        # G6: tailed triangle; triangle {0,1,2}, tail edge (2,3)
+        _template(
+            edges=[(0, 1), (1, 2), (0, 2), (2, 3)],
+            edge_orbits={(0, 1): 9, (1, 2): 8, (0, 2): 8, (2, 3): 7},
+            node_orbits={0: 10, 1: 10, 2: 11, 3: 9},
+            name="tailed triangle",
+        ),
+        # G7: diagonal quadrangle (diamond); diagonal edge (1, 3)
+        _template(
+            edges=[(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)],
+            edge_orbits={(0, 1): 10, (1, 2): 10, (2, 3): 10, (0, 3): 10, (1, 3): 11},
+            node_orbits={0: 12, 1: 13, 2: 12, 3: 13},
+            name="diagonal quadrangle",
+        ),
+        # G8: clique K4
+        _template(
+            edges=[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+            edge_orbits={
+                (0, 1): 12,
+                (0, 2): 12,
+                (0, 3): 12,
+                (1, 2): 12,
+                (1, 3): 12,
+                (2, 3): 12,
+            },
+            node_orbits={0: 14, 1: 14, 2: 14, 3: 14},
+            name="clique",
+        ),
+    ]
+    return templates
+
+
+def orbits_for_graphlet(graphlet_id: int) -> List[int]:
+    """Return the edge-orbit ids belonging to graphlet ``graphlet_id``."""
+    if not 0 <= graphlet_id < len(GRAPHLET_NAMES):
+        raise ValueError(f"graphlet_id must be in [0, 9), got {graphlet_id}")
+    return [k for k, g in enumerate(EDGE_ORBIT_GRAPHLET) if g == graphlet_id]
+
+
+__all__ = [
+    "EDGE_ORBIT_COUNT",
+    "NODE_ORBIT_COUNT",
+    "GRAPHLET_NAMES",
+    "EDGE_ORBIT_NAMES",
+    "EDGE_ORBIT_GRAPHLET",
+    "NODE_ORBIT_GRAPHLET",
+    "graphlet_templates",
+    "orbits_for_graphlet",
+]

@@ -1,0 +1,31 @@
+"""Embedding-similarity measures and matching utilities.
+
+This package turns node embeddings into alignment scores:
+
+* :mod:`repro.similarity.measures` — Pearson-correlation and cosine
+  similarity matrices between two embedding sets,
+* :mod:`repro.similarity.lisi` — the Locally Isolated Similarity Index
+  (Eq. 9-11), which corrects raw similarity for hubness,
+* :mod:`repro.similarity.matching` — mutual-nearest-neighbour (trusted-pair)
+  detection, greedy one-to-one matching, and top-k retrieval.
+"""
+
+from repro.similarity.csls import csls_matrix
+from repro.similarity.lisi import hubness_degrees, lisi_matrix
+from repro.similarity.matching import (
+    greedy_match,
+    mutual_nearest_neighbors,
+    top_k_indices,
+)
+from repro.similarity.measures import cosine_similarity, pearson_similarity
+
+__all__ = [
+    "pearson_similarity",
+    "cosine_similarity",
+    "hubness_degrees",
+    "lisi_matrix",
+    "csls_matrix",
+    "mutual_nearest_neighbors",
+    "greedy_match",
+    "top_k_indices",
+]

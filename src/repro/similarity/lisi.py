@@ -1,0 +1,76 @@
+"""Locally Isolated Similarity Index (LISI), paper Eq. 9-11.
+
+In the roughly learned embedding space some nodes become *hubs*: nearest
+neighbours of disproportionately many nodes of the other graph, which breaks
+the nearest-neighbour alignment rule.  LISI discounts each pair's raw
+similarity by the hubness of both endpoints:
+
+``LISI(h_s, h_t) = 2 corr(h_s, h_t) - D_t(h_s) - D_s(h_t)``
+
+where ``D_t(h_s)`` is the mean similarity of ``h_s`` to its ``m`` nearest
+neighbours in the target space and ``D_s(h_t)`` the symmetric quantity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.similarity.measures import pearson_similarity
+
+
+def hubness_degrees(
+    similarity: np.ndarray, n_neighbors: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean similarity of each row/column to its top-``n_neighbors`` entries.
+
+    Returns
+    -------
+    source_hubness:
+        ``(n_source,)`` — Eq. 10's ``D_t(h_s)`` for every source node.
+    target_hubness:
+        ``(n_target,)`` — ``D_s(h_t)`` for every target node.
+    """
+    similarity = np.asarray(similarity, dtype=np.float64)
+    if similarity.ndim != 2:
+        raise ValueError("similarity must be a 2-D matrix")
+    n_source, n_target = similarity.shape
+    if n_neighbors < 1:
+        raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+
+    m_source = min(n_neighbors, n_target)
+    m_target = min(n_neighbors, n_source)
+
+    # Mean of the m largest entries per row / per column.
+    top_rows = np.partition(similarity, n_target - m_source, axis=1)[:, n_target - m_source:]
+    source_hubness = top_rows.mean(axis=1)
+    top_cols = np.partition(similarity, n_source - m_target, axis=0)[n_source - m_target:, :]
+    target_hubness = top_cols.mean(axis=0)
+    return source_hubness, target_hubness
+
+
+def lisi_matrix(
+    source_embeddings: np.ndarray,
+    target_embeddings: np.ndarray,
+    n_neighbors: int = 20,
+    similarity: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Compute the LISI alignment matrix between two embedding sets.
+
+    Parameters
+    ----------
+    source_embeddings, target_embeddings:
+        ``(n_s, d)`` and ``(n_t, d)`` embedding matrices.
+    n_neighbors:
+        Neighbourhood size ``m`` used for the hubness correction.
+    similarity:
+        Optional pre-computed Pearson similarity matrix (skips recomputation).
+    """
+    if similarity is None:
+        similarity = pearson_similarity(source_embeddings, target_embeddings)
+    source_hubness, target_hubness = hubness_degrees(similarity, n_neighbors)
+    return 2.0 * similarity - source_hubness[:, None] - target_hubness[None, :]
+
+
+__all__ = ["hubness_degrees", "lisi_matrix"]

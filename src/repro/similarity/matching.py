@@ -1,0 +1,99 @@
+"""Matching rules that turn an alignment-score matrix into node pairs."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def mutual_nearest_neighbors(score_matrix: np.ndarray) -> List[Tuple[int, int]]:
+    """Pairs ``(i, j)`` that are each other's argmax (the paper's trusted pairs).
+
+    A source node ``i`` and target node ``j`` form a trusted pair when ``j`` is
+    the best-scoring target for ``i`` *and* ``i`` is the best-scoring source
+    for ``j`` (Eq. 12).
+    """
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    if scores.ndim != 2 or scores.size == 0:
+        return []
+    best_target = scores.argmax(axis=1)
+    best_source = scores.argmax(axis=0)
+    pairs = [
+        (int(i), int(j))
+        for i, j in enumerate(best_target)
+        if best_source[j] == i
+    ]
+    return pairs
+
+
+def greedy_match(score_matrix: np.ndarray) -> List[Tuple[int, int]]:
+    """Greedy one-to-one matching by descending score.
+
+    Repeatedly picks the highest remaining score whose row and column are both
+    unused.  Useful for producing a hard alignment from the final score
+    matrix.
+    """
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    if scores.ndim != 2 or scores.size == 0:
+        return []
+    n_source, n_target = scores.shape
+    order = np.argsort(scores, axis=None)[::-1]
+    used_source = np.zeros(n_source, dtype=bool)
+    used_target = np.zeros(n_target, dtype=bool)
+    pairs: List[Tuple[int, int]] = []
+    limit = min(n_source, n_target)
+    for flat_index in order:
+        i, j = divmod(int(flat_index), n_target)
+        if used_source[i] or used_target[j]:
+            continue
+        pairs.append((i, j))
+        used_source[i] = True
+        used_target[j] = True
+        if len(pairs) == limit:
+            break
+    return pairs
+
+
+def top_k_indices(score_matrix: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` best targets per source row, best first.
+
+    Returns an ``(n_source, k)`` integer array.  ``k`` is clipped to the
+    number of targets.
+    """
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("score_matrix must be 2-D")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n_target = scores.shape[1]
+    k = min(k, n_target)
+    # argpartition for efficiency, then sort the k candidates per row.
+    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    row_indices = np.arange(scores.shape[0])[:, None]
+    order = np.argsort(-scores[row_indices, part], axis=1)
+    return part[row_indices, order]
+
+
+def alignment_accuracy(
+    score_matrix: np.ndarray, ground_truth: np.ndarray
+) -> float:
+    """Fraction of source nodes whose argmax equals their ground-truth target.
+
+    Convenience wrapper used in quick tests; the full metrics live in
+    :mod:`repro.eval.metrics`.
+    """
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    ground_truth = np.asarray(ground_truth, dtype=np.int64)
+    if scores.shape[0] != ground_truth.shape[0]:
+        raise ValueError("ground truth length must equal the number of source nodes")
+    predictions = scores.argmax(axis=1)
+    return float((predictions == ground_truth).mean())
+
+
+__all__ = [
+    "mutual_nearest_neighbors",
+    "greedy_match",
+    "top_k_indices",
+    "alignment_accuracy",
+]

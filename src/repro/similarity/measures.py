@@ -1,0 +1,58 @@
+"""Pairwise similarity matrices between two embedding sets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_embeddings(source: np.ndarray, target: np.ndarray) -> tuple:
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.ndim != 2 or target.ndim != 2:
+        raise ValueError("embeddings must be 2-D arrays")
+    if source.shape[1] != target.shape[1]:
+        raise ValueError(
+            f"embedding dimensions differ: {source.shape[1]} vs {target.shape[1]}"
+        )
+    return source, target
+
+
+def pearson_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Pearson correlation between every source row and every target row.
+
+    The paper (Eq. 9) uses Pearson correlation because of its translation and
+    scale invariance.  Rows with zero variance are mapped to zero correlation
+    with everything.
+    """
+    source, target = _validate_embeddings(source, target)
+    source_centered = source - source.mean(axis=1, keepdims=True)
+    target_centered = target - target.mean(axis=1, keepdims=True)
+    source_norm = np.linalg.norm(source_centered, axis=1, keepdims=True)
+    target_norm = np.linalg.norm(target_centered, axis=1, keepdims=True)
+    source_norm[source_norm == 0] = 1.0
+    target_norm[target_norm == 0] = 1.0
+    correlation = (source_centered / source_norm) @ (target_centered / target_norm).T
+    return np.clip(correlation, -1.0, 1.0)
+
+
+def cosine_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Cosine similarity between every source row and every target row."""
+    source, target = _validate_embeddings(source, target)
+    source_norm = np.linalg.norm(source, axis=1, keepdims=True)
+    target_norm = np.linalg.norm(target, axis=1, keepdims=True)
+    source_norm[source_norm == 0] = 1.0
+    target_norm[target_norm == 0] = 1.0
+    similarity = (source / source_norm) @ (target / target_norm).T
+    return np.clip(similarity, -1.0, 1.0)
+
+
+def euclidean_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Negative squared Euclidean distance (larger = more similar)."""
+    source, target = _validate_embeddings(source, target)
+    source_sq = (source**2).sum(axis=1, keepdims=True)
+    target_sq = (target**2).sum(axis=1, keepdims=True)
+    distances = source_sq + target_sq.T - 2.0 * source @ target.T
+    return -np.maximum(distances, 0.0)
+
+
+__all__ = ["pearson_similarity", "cosine_similarity", "euclidean_similarity"]

@@ -1,0 +1,30 @@
+"""Small shared utilities used across the HTC reproduction.
+
+The utilities are deliberately lightweight: deterministic seeding helpers,
+wall-clock stage timing, simple structured logging, and a handful of scipy
+sparse-matrix helpers that the graph and orbit packages build on.
+"""
+
+from repro.utils.logging import get_logger
+from repro.utils.random import check_random_state, seed_everything
+from repro.utils.sparse import (
+    is_symmetric,
+    row_normalize,
+    sparse_from_edges,
+    symmetrize,
+    to_csr,
+)
+from repro.utils.timing import StageTimer, Timer
+
+__all__ = [
+    "get_logger",
+    "seed_everything",
+    "check_random_state",
+    "Timer",
+    "StageTimer",
+    "to_csr",
+    "sparse_from_edges",
+    "symmetrize",
+    "is_symmetric",
+    "row_normalize",
+]

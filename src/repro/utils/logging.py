@@ -1,0 +1,50 @@
+"""Library-wide logging configuration.
+
+All modules obtain their logger through :func:`get_logger` so the whole
+library shares a single namespace (``repro``) and a single, idempotent
+handler setup.  Benchmarks and examples can raise the verbosity with
+``set_verbosity``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``name`` may be a module ``__name__``; anything not already under the
+    ``repro`` namespace is nested beneath it.
+    """
+    _configure_root()
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the logging level for the whole library (e.g. ``logging.INFO``)."""
+    _configure_root()
+    logging.getLogger(_ROOT_NAME).setLevel(level)
+
+
+__all__ = ["get_logger", "set_verbosity"]

@@ -1,0 +1,69 @@
+"""Deterministic random-state handling.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None``.  ``check_random_state``
+canonicalises all three into a ``Generator`` so experiments are reproducible
+end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+import numpy as np
+
+RandomStateLike = Union[None, int, np.random.Generator]
+
+
+def check_random_state(random_state: RandomStateLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for a non-deterministic generator, an ``int`` seed, or an
+        already constructed :class:`numpy.random.Generator` (returned as-is).
+
+    Raises
+    ------
+    TypeError
+        If ``random_state`` is none of the accepted types.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int, or a numpy Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python's and numpy's global random state and return a Generator.
+
+    Use this at the top of scripts/benchmarks; library code should instead
+    thread an explicit generator through ``check_random_state``.
+    """
+    if not isinstance(seed, (int, np.integer)):
+        raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+    random.seed(int(seed))
+    np.random.seed(int(seed) % (2**32))
+    return np.random.default_rng(int(seed))
+
+
+def spawn_generators(
+    random_state: RandomStateLike, count: int
+) -> list[np.random.Generator]:
+    """Split ``random_state`` into ``count`` independent child generators."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = check_random_state(random_state)
+    seeds = parent.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+__all__ = ["RandomStateLike", "check_random_state", "seed_everything", "spawn_generators"]

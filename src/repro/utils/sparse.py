@@ -1,0 +1,119 @@
+"""scipy sparse-matrix helpers shared by the graph and orbit packages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def to_csr(matrix: MatrixLike, dtype: type = np.float64) -> sp.csr_matrix:
+    """Convert a dense array or any scipy sparse matrix to CSR format."""
+    if sp.issparse(matrix):
+        out = matrix.tocsr().astype(dtype)
+    else:
+        arr = np.asarray(matrix, dtype=dtype)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")
+        out = sp.csr_matrix(arr)
+    out.eliminate_zeros()
+    return out
+
+
+def sparse_from_edges(
+    edges: Iterable[Tuple[int, int]],
+    n_nodes: int,
+    weights: Union[Iterable[float], None] = None,
+    symmetric: bool = True,
+) -> sp.csr_matrix:
+    """Build an ``n_nodes``-square CSR adjacency matrix from an edge list.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` integer pairs with ``0 <= u, v < n_nodes``.
+    n_nodes:
+        Number of rows/columns of the output matrix.
+    weights:
+        Optional per-edge weights (defaults to 1.0 each).
+    symmetric:
+        If True, each edge is inserted in both directions.
+    """
+    edge_list = list(edges)
+    if weights is None:
+        weight_list = [1.0] * len(edge_list)
+    else:
+        weight_list = [float(w) for w in weights]
+        if len(weight_list) != len(edge_list):
+            raise ValueError(
+                f"got {len(edge_list)} edges but {len(weight_list)} weights"
+            )
+
+    rows, cols, vals = [], [], []
+    for (u, v), w in zip(edge_list, weight_list):
+        if not (0 <= u < n_nodes and 0 <= v < n_nodes):
+            raise ValueError(f"edge ({u}, {v}) out of range for n_nodes={n_nodes}")
+        rows.append(u)
+        cols.append(v)
+        vals.append(w)
+        if symmetric and u != v:
+            rows.append(v)
+            cols.append(u)
+            vals.append(w)
+
+    matrix = sp.coo_matrix(
+        (vals, (rows, cols)), shape=(n_nodes, n_nodes), dtype=np.float64
+    )
+    # Duplicate entries (e.g. an edge listed twice) are summed by COO->CSR;
+    # clip back to the max weight so repeated listings stay idempotent.
+    csr = matrix.tocsr()
+    csr.sum_duplicates()
+    return csr
+
+
+def symmetrize(matrix: MatrixLike) -> sp.csr_matrix:
+    """Return ``max(M, M^T)`` as CSR, making an adjacency matrix undirected."""
+    csr = to_csr(matrix)
+    return csr.maximum(csr.T).tocsr()
+
+
+def is_symmetric(matrix: MatrixLike, tol: float = 1e-10) -> bool:
+    """Check whether ``matrix`` equals its transpose up to ``tol``."""
+    csr = to_csr(matrix)
+    diff = (csr - csr.T).tocoo()
+    if diff.nnz == 0:
+        return True
+    return bool(np.all(np.abs(diff.data) <= tol))
+
+
+def row_normalize(matrix: MatrixLike) -> sp.csr_matrix:
+    """Normalise each row of ``matrix`` to sum to 1 (zero rows stay zero)."""
+    csr = to_csr(matrix)
+    row_sums = np.asarray(csr.sum(axis=1)).ravel()
+    inv = np.zeros_like(row_sums)
+    nonzero = row_sums != 0
+    inv[nonzero] = 1.0 / row_sums[nonzero]
+    return sp.diags(inv).dot(csr).tocsr()
+
+
+def safe_inverse_sqrt(values: np.ndarray) -> np.ndarray:
+    """Element-wise ``1/sqrt(x)`` with zeros mapped to zero (not inf)."""
+    values = np.asarray(values, dtype=np.float64)
+    out = np.zeros_like(values)
+    positive = values > 0
+    out[positive] = 1.0 / np.sqrt(values[positive])
+    return out
+
+
+__all__ = [
+    "MatrixLike",
+    "to_csr",
+    "sparse_from_edges",
+    "symmetrize",
+    "is_symmetric",
+    "row_normalize",
+    "safe_inverse_sqrt",
+]

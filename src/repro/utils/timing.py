@@ -1,0 +1,97 @@
+"""Wall-clock timing helpers.
+
+``Timer`` is a context manager for one measurement; ``StageTimer`` accumulates
+named stages and is used by :class:`repro.core.aligner.HTCAligner` to produce
+the runtime decomposition reported in the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class Timer:
+    """Measure elapsed wall-clock time of a ``with`` block.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    def start(self) -> None:
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the timer and return the elapsed time in seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+
+class StageTimer:
+    """Accumulate elapsed time per named stage.
+
+    Stages may be entered repeatedly; their durations accumulate.  The
+    ``total`` property and ``as_dict`` output drive the Fig. 8 runtime
+    decomposition bench.
+    """
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time the body of the ``with`` block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stages[name] = self._stages.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to stage ``name``."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        self._stages[name] = self._stages.get(name, 0.0) + float(seconds)
+
+    def get(self, name: str) -> float:
+        """Return the accumulated time of ``name`` (0.0 if never entered)."""
+        return self._stages.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Total accumulated time across all stages."""
+        return sum(self._stages.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the stage-name to seconds mapping."""
+        return dict(self._stages)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in self._stages.items())
+        return f"StageTimer({parts})"
+
+
+__all__ = ["Timer", "StageTimer"]

@@ -1,0 +1,13 @@
+"""Visualisation utilities.
+
+* :mod:`repro.viz.tsne` — an exact (O(n²)) t-SNE implementation in numpy,
+  used to reproduce the qualitative embedding plots of the paper's Fig. 11,
+* :mod:`repro.viz.embedding_stats` — quantitative summaries of how well the
+  source and target anchor embeddings overlap before/after alignment (so the
+  Fig. 11 claim can be checked numerically, without plotting).
+"""
+
+from repro.viz.embedding_stats import anchor_overlap_statistics
+from repro.viz.tsne import tsne
+
+__all__ = ["tsne", "anchor_overlap_statistics"]

@@ -1,0 +1,114 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) in numpy.
+
+Quadratic in the number of points, which is fine for the few hundred anchor
+embeddings the paper visualises in Fig. 11.  Perplexity calibration uses the
+standard bisection on the Gaussian bandwidths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import RandomStateLike, check_random_state
+
+
+def _pairwise_squared_distances(points: np.ndarray) -> np.ndarray:
+    squared = (points**2).sum(axis=1)
+    distances = squared[:, None] + squared[None, :] - 2.0 * points @ points.T
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _conditional_probabilities(
+    distances: np.ndarray, perplexity: float, tol: float = 1e-5, max_iter: int = 50
+) -> np.ndarray:
+    """Row-wise Gaussian affinities whose entropy matches ``log(perplexity)``."""
+    n = distances.shape[0]
+    probabilities = np.zeros((n, n))
+    target_entropy = np.log(perplexity)
+    for i in range(n):
+        beta_low, beta_high = 0.0, np.inf
+        beta = 1.0
+        row = np.delete(distances[i], i)
+        for _ in range(max_iter):
+            exponents = np.exp(-row * beta)
+            total = exponents.sum()
+            if total <= 0:
+                entropy = 0.0
+                conditional = np.zeros_like(row)
+            else:
+                conditional = exponents / total
+                entropy = -(conditional * np.log(np.maximum(conditional, 1e-12))).sum()
+            difference = entropy - target_entropy
+            if abs(difference) < tol:
+                break
+            if difference > 0:
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low == 0.0 else (beta + beta_low) / 2.0
+        probabilities[i, np.arange(n) != i] = conditional
+    return probabilities
+
+
+def tsne(
+    points: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 30.0,
+    n_iterations: int = 300,
+    learning_rate: float = 100.0,
+    random_state: RandomStateLike = 0,
+) -> np.ndarray:
+    """Embed ``points`` into ``n_components`` dimensions with exact t-SNE.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` high-dimensional coordinates.
+    perplexity:
+        Effective neighbourhood size (clipped to ``(n - 1) / 3``).
+    n_iterations, learning_rate:
+        Gradient-descent settings (with momentum and early exaggeration).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = points.shape[0]
+    if n < 3:
+        raise ValueError("t-SNE needs at least 3 points")
+    rng = check_random_state(random_state)
+    perplexity = min(perplexity, max((n - 1) / 3.0, 2.0))
+
+    distances = _pairwise_squared_distances(points)
+    conditional = _conditional_probabilities(distances, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    embedding = rng.normal(0.0, 1e-4, size=(n, n_components))
+    velocity = np.zeros_like(embedding)
+    exaggeration = 4.0
+    momentum = 0.5
+
+    for iteration in range(n_iterations):
+        if iteration == 50:
+            exaggeration = 1.0
+        if iteration == 100:
+            momentum = 0.8
+        low_d_distances = _pairwise_squared_distances(embedding)
+        numerator = 1.0 / (1.0 + low_d_distances)
+        np.fill_diagonal(numerator, 0.0)
+        q = numerator / max(numerator.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+
+        pq = (exaggeration * joint - q) * numerator
+        gradient = 4.0 * (
+            np.diag(pq.sum(axis=1)) @ embedding - pq @ embedding
+        )
+        velocity = momentum * velocity - learning_rate * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0, keepdims=True)
+    return embedding
+
+
+__all__ = ["tsne"]

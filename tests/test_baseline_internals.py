@@ -1,0 +1,103 @@
+"""Tests for the internal building blocks of the baseline aligners."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cenalp import CENALP
+from repro.baselines.galign import GAlign
+from repro.baselines.regal import REGAL
+from repro.datasets.synthetic import tiny_pair
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+class TestREGALInternals:
+    def test_structural_identity_shape(self):
+        graph = powerlaw_cluster_graph(30, 3, random_state=0)
+        identity = REGAL()._structural_identity(graph)
+        assert identity.shape[0] == 30
+        assert identity.shape[1] >= 1
+        assert (identity >= 0).all()
+
+    def test_identity_reflects_degree(self):
+        """A hub accumulates more neighbourhood mass than a leaf."""
+        star = from_edge_list([(0, 1), (0, 2), (0, 3), (0, 4)], n_nodes=5)
+        identity = REGAL()._structural_identity(star)
+        assert identity[0].sum() > identity[1].sum()
+
+    def test_hop_discount_reduces_far_contributions(self):
+        path = from_edge_list([(0, 1), (1, 2), (2, 3)], n_nodes=4)
+        strong = REGAL(hop_discount=1.0)._structural_identity(path)
+        weak = REGAL(hop_discount=0.1)._structural_identity(path)
+        assert weak[0].sum() < strong[0].sum()
+
+    def test_pad_columns(self):
+        a = np.ones((2, 3))
+        b = np.ones((2, 5))
+        padded = REGAL._pad_columns([a, b])
+        assert padded[0].shape == (2, 5)
+        assert padded[1].shape == (2, 5)
+        np.testing.assert_array_equal(padded[0][:, 3:], np.zeros((2, 2)))
+
+    def test_combined_similarity_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        regal = REGAL()
+        sim = regal._combined_similarity(
+            rng.random((4, 3)), rng.random((5, 3)), rng.random((4, 2)), rng.random((5, 2))
+        )
+        assert (sim > 0).all()
+        assert (sim <= 1.0 + 1e-12).all()
+
+
+class TestCENALPInternals:
+    def test_mapping_fits_anchors(self):
+        rng = np.random.default_rng(0)
+        source = rng.normal(size=(20, 6))
+        true_map = rng.normal(size=(6, 6))
+        target = source @ true_map
+        anchors = [(i, i) for i in range(20)]
+        cenalp = CENALP(ridge=1e-6)
+        learned = cenalp._fit_mapping(source, target, anchors)
+        np.testing.assert_allclose(source @ learned, target, atol=1e-6)
+
+    def test_growth_adds_new_anchors(self):
+        pair = tiny_pair(n_nodes=40, random_state=0, noise=0.02)
+        cenalp = CENALP(embedding_dim=16, n_rounds=3, growth_per_round=5)
+        seed_anchors = pair.anchor_links[:4]
+        scores = cenalp.align(pair, train_anchors=list(seed_anchors))
+        assert scores.shape == (40, 40)
+
+    def test_unsupervised_seeding_falls_back_to_attributes(self):
+        pair = tiny_pair(n_nodes=30, random_state=1, noise=0.02)
+        scores = CENALP(embedding_dim=16, n_rounds=2).align(pair, train_anchors=None)
+        assert np.isfinite(scores).all()
+
+
+class TestGAlignInternals:
+    def test_views_include_augmentation(self):
+        pair = tiny_pair(n_nodes=25, random_state=0)
+        galign = GAlign(augment_ratio=0.2, random_state=0)
+        views = galign._views(pair.source, np.random.default_rng(0))
+        assert len(views) == 2
+
+    def test_augmentation_disabled(self):
+        pair = tiny_pair(n_nodes=25, random_state=0)
+        galign = GAlign(augment_ratio=0.0, random_state=0)
+        views = galign._views(pair.source, np.random.default_rng(0))
+        assert len(views) == 1
+
+    def test_attribute_mismatch_rejected(self):
+        pair = tiny_pair(n_nodes=20, random_state=0)
+        bad_target = pair.target.with_attributes(
+            np.ones((pair.target.n_nodes, pair.source.n_attributes + 1))
+        )
+        from repro.datasets.pair import GraphPair
+
+        bad_pair = GraphPair(
+            source=pair.source,
+            target=bad_target,
+            ground_truth=pair.ground_truth,
+            name="bad",
+        )
+        with pytest.raises(ValueError):
+            GAlign(epochs=1).align(bad_pair)

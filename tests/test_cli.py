@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_align_defaults(self):
+        args = build_parser().parse_args(["align", "--dataset", "tiny"])
+        assert args.method == "HTC"
+        assert args.dim == 32
+        assert args.epochs == 40
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["align", "--dataset", "imaginary"])
+
+    def test_robustness_ratio_parsing(self):
+        args = build_parser().parse_args(
+            ["robustness", "--dataset", "bn", "--ratios", "0.1", "0.3"]
+        )
+        assert args.ratios == [0.1, 0.3]
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "douban" in output
+        assert "allmovie_imdb" in output
+
+    def test_align_htc_on_tiny(self, capsys):
+        code = main(
+            [
+                "align",
+                "--dataset",
+                "tiny",
+                "--method",
+                "HTC",
+                "--epochs",
+                "5",
+                "--dim",
+                "8",
+                "--orbits",
+                "2",
+                "--neighbors",
+                "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "p@1" in output
+        assert "Orbit importance" in output
+
+    def test_align_baseline(self, capsys):
+        code = main(["align", "--dataset", "tiny", "--method", "IsoRank"])
+        assert code == 0
+        assert "IsoRank" in capsys.readouterr().out
+
+    def test_align_variant(self, capsys):
+        code = main(
+            [
+                "align",
+                "--dataset",
+                "tiny",
+                "--method",
+                "HTC-L",
+                "--epochs",
+                "5",
+                "--dim",
+                "8",
+            ]
+        )
+        assert code == 0
+        assert "HTC-L" in capsys.readouterr().out
+
+    def test_robustness_command(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--dataset",
+                "econ",
+                "--methods",
+                "IsoRank",
+                "--ratios",
+                "0.1",
+                "0.3",
+                "--scale",
+                "0.25",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Robustness on econ" in output
+        assert "0.300" in output

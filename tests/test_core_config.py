@@ -1,0 +1,62 @@
+"""Tests for HTCConfig validation and derived properties."""
+
+import pytest
+
+from repro.core.config import HTCConfig
+
+
+class TestHTCConfig:
+    def test_defaults_use_all_orbits(self):
+        config = HTCConfig()
+        assert config.resolved_orbits == tuple(range(13))
+
+    def test_explicit_orbits(self):
+        config = HTCConfig(orbits=[0, 3, 5])
+        assert config.resolved_orbits == (0, 3, 5)
+
+    def test_range_accepted(self):
+        config = HTCConfig(orbits=range(4))
+        assert config.resolved_orbits == (0, 1, 2, 3)
+
+    def test_hidden_dims(self):
+        config = HTCConfig(embedding_dim=32, n_layers=3)
+        assert config.hidden_dims == (32, 32, 32)
+
+    def test_updated_returns_modified_copy(self):
+        config = HTCConfig(epochs=50)
+        changed = config.updated(epochs=10, embedding_dim=8)
+        assert changed.epochs == 10
+        assert changed.embedding_dim == 8
+        assert config.epochs == 50
+
+    def test_invalid_topology_mode(self):
+        with pytest.raises(ValueError):
+            HTCConfig(topology_mode="magic")
+
+    def test_invalid_orbit_id(self):
+        with pytest.raises(ValueError):
+            HTCConfig(orbits=[13])
+
+    def test_empty_orbits(self):
+        with pytest.raises(ValueError):
+            HTCConfig(orbits=[])
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("embedding_dim", 0),
+            ("n_layers", 0),
+            ("learning_rate", 0.0),
+            ("epochs", 0),
+            ("n_neighbors", 0),
+            ("reinforcement_rate", 1.0),
+            ("max_refinement_iterations", 0),
+        ],
+    )
+    def test_invalid_numeric_fields(self, field, value):
+        with pytest.raises(ValueError):
+            HTCConfig(**{field: value})
+
+    def test_diffusion_mode_valid(self):
+        config = HTCConfig(topology_mode="diffusion", diffusion_orders=(1, 2))
+        assert config.topology_mode == "diffusion"

@@ -1,0 +1,78 @@
+"""Tests for topology-view construction and orbit-weighted encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HTCConfig
+from repro.core.encoder import (
+    build_topology_views,
+    count_orbits_if_needed,
+    encode_views,
+    make_encoder,
+)
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.utils.sparse import is_symmetric
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(30, 3, n_attributes=4, random_state=0)
+
+
+class TestBuildTopologyViews:
+    def test_orbit_mode_keys(self, graph):
+        config = HTCConfig(orbits=[0, 1, 2])
+        views = build_topology_views(graph, config)
+        assert set(views) == {0, 1, 2}
+
+    def test_adjacency_mode_single_view(self, graph):
+        config = HTCConfig(topology_mode="adjacency")
+        views = build_topology_views(graph, config)
+        assert set(views) == {0}
+
+    def test_diffusion_mode_view_count(self, graph):
+        config = HTCConfig(topology_mode="diffusion", diffusion_orders=(1, 2, 3))
+        views = build_topology_views(graph, config)
+        assert len(views) == 3
+
+    def test_views_are_symmetric_and_square(self, graph):
+        config = HTCConfig(orbits=[0, 2, 5])
+        for view in build_topology_views(graph, config).values():
+            assert view.shape == (30, 30)
+            assert is_symmetric(view)
+
+    def test_precomputed_counts_reused(self, graph):
+        config = HTCConfig(orbits=[0, 1])
+        counts = count_orbits_if_needed(graph, config)
+        views_a = build_topology_views(graph, config, counts)
+        views_b = build_topology_views(graph, config)
+        for key in views_a:
+            np.testing.assert_allclose(
+                views_a[key].toarray(), views_b[key].toarray()
+            )
+
+    def test_count_skipped_for_adjacency_mode(self, graph):
+        config = HTCConfig(topology_mode="adjacency")
+        assert count_orbits_if_needed(graph, config) is None
+
+    def test_binary_orbits_differ_from_weighted(self, graph):
+        weighted = build_topology_views(graph, HTCConfig(orbits=[2]))
+        binary = build_topology_views(graph, HTCConfig(orbits=[2], weighted_orbits=False))
+        assert not np.allclose(weighted[2].toarray(), binary[2].toarray())
+
+
+class TestEncoderConstruction:
+    def test_make_encoder_dimensions(self):
+        config = HTCConfig(embedding_dim=12, n_layers=3)
+        encoder = make_encoder(5, config)
+        assert encoder.layer_dims == [5, 12, 12, 12]
+
+    def test_encode_views_returns_arrays(self, graph):
+        config = HTCConfig(orbits=[0, 1], embedding_dim=8)
+        views = build_topology_views(graph, config)
+        encoder = make_encoder(graph.n_attributes, config)
+        embeddings = encode_views(encoder, views, graph.attributes)
+        assert set(embeddings) == {0, 1}
+        for embedding in embeddings.values():
+            assert embedding.shape == (30, 8)
+            assert isinstance(embedding, np.ndarray)

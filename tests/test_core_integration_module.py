@@ -1,0 +1,75 @@
+"""Tests for posterior importance assignment (Eq. 15)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.integration import integrate_alignment_matrices, orbit_importance
+
+
+class TestOrbitImportance:
+    def test_weights_sum_to_one(self):
+        weights = orbit_importance({0: 10, 1: 30, 2: 60})
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_proportional_to_counts(self):
+        weights = orbit_importance({0: 10, 1: 30})
+        assert weights[1] == pytest.approx(3 * weights[0])
+
+    def test_all_zero_counts_fall_back_to_uniform(self):
+        weights = orbit_importance({0: 0, 5: 0})
+        assert weights[0] == pytest.approx(0.5)
+        assert weights[5] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            orbit_importance({})
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 12), st.integers(0, 1000), min_size=1, max_size=13
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_weights_always_normalised(self, counts):
+        weights = orbit_importance(counts)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert all(w >= 0 for w in weights.values())
+
+
+class TestIntegrateAlignmentMatrices:
+    def test_weighted_sum(self):
+        matrices = {0: np.ones((2, 2)), 1: np.zeros((2, 2))}
+        combined, importance = integrate_alignment_matrices(matrices, {0: 3, 1: 1})
+        np.testing.assert_allclose(combined, np.full((2, 2), 0.75))
+        assert importance[0] == pytest.approx(0.75)
+
+    def test_single_orbit_passthrough(self):
+        matrix = np.random.default_rng(0).normal(size=(3, 4))
+        combined, importance = integrate_alignment_matrices({2: matrix}, {2: 7})
+        np.testing.assert_allclose(combined, matrix)
+        assert importance == {2: 1.0}
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_alignment_matrices({0: np.eye(2)}, {1: 5})
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_alignment_matrices(
+                {0: np.eye(2), 1: np.eye(3)}, {0: 1, 1: 1}
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_alignment_matrices({}, {})
+
+    def test_better_orbit_dominates_argmax(self):
+        """An orbit with far more trusted pairs controls the final argmax."""
+        good = np.array([[0.0, 1.0], [1.0, 0.0]])
+        bad = np.array([[1.0, 0.0], [0.0, 1.0]])
+        combined, _ = integrate_alignment_matrices(
+            {0: bad, 1: good}, {0: 1, 1: 99}
+        )
+        np.testing.assert_array_equal(combined.argmax(axis=1), [1, 0])

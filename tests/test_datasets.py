@@ -1,0 +1,205 @@
+"""Tests for the datasets package: GraphPair, synthetic generators, IO, registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_pair, save_pair
+from repro.datasets.pair import GraphPair
+from repro.datasets.registry import available_datasets, load_dataset, register_dataset
+from repro.datasets.synthetic import (
+    allmovie_imdb,
+    bn,
+    douban,
+    econ,
+    flickr_myspace,
+    synthetic_pair,
+    tiny_pair,
+)
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+class TestGraphPair:
+    def test_anchor_links(self, small_pair):
+        anchors = small_pair.anchor_links
+        assert len(anchors) == small_pair.n_anchors
+        for i, j in anchors:
+            assert small_pair.ground_truth[i] == j
+
+    def test_ground_truth_shape_enforced(self):
+        graph = powerlaw_cluster_graph(10, 2, random_state=0)
+        with pytest.raises(ValueError):
+            GraphPair(graph, graph, np.zeros(5, dtype=int))
+
+    def test_ground_truth_range_enforced(self):
+        graph = powerlaw_cluster_graph(10, 2, random_state=0)
+        truth = np.full(10, 99)
+        with pytest.raises(ValueError):
+            GraphPair(graph, graph, truth)
+
+    def test_ground_truth_injectivity_enforced(self):
+        graph = powerlaw_cluster_graph(10, 2, random_state=0)
+        truth = np.zeros(10, dtype=int)  # every source maps to target 0
+        with pytest.raises(ValueError):
+            GraphPair(graph, graph, truth)
+
+    def test_split_anchors_ratio(self, small_pair):
+        train, test = small_pair.split_anchors(0.25, random_state=0)
+        assert len(train) == round(0.25 * small_pair.n_anchors)
+        assert len(train) + len(test) == small_pair.n_anchors
+        assert not set(train) & set(test)
+
+    def test_split_anchors_deterministic(self, small_pair):
+        a = small_pair.split_anchors(0.1, random_state=3)
+        b = small_pair.split_anchors(0.1, random_state=3)
+        assert a == b
+
+    def test_split_anchors_invalid_ratio(self, small_pair):
+        with pytest.raises(ValueError):
+            small_pair.split_anchors(1.0)
+
+    def test_prior_alignment_matrix(self, small_pair):
+        anchors = small_pair.anchor_links[:3]
+        prior = small_pair.prior_alignment_matrix(anchors)
+        assert prior.shape == (
+            small_pair.source.n_nodes,
+            small_pair.target.n_nodes,
+        )
+        for i, j in anchors:
+            assert prior[i, j] == 1.0
+        assert prior.nnz == 3
+
+    def test_prior_with_uniform_mass(self, small_pair):
+        prior = small_pair.prior_alignment_matrix(uniform_value=0.01)
+        assert prior.nnz == small_pair.source.n_nodes * small_pair.target.n_nodes
+
+    def test_reversed_pair(self, small_pair):
+        reversed_pair = small_pair.reversed()
+        for i, j in small_pair.anchor_links:
+            assert reversed_pair.ground_truth[j] == i
+        assert reversed_pair.source.n_nodes == small_pair.target.n_nodes
+
+    def test_summary_fields(self, small_pair):
+        summary = small_pair.summary()
+        assert summary["source_nodes"] == small_pair.source.n_nodes
+        assert summary["n_anchors"] == small_pair.n_anchors
+
+    def test_repr(self, small_pair):
+        assert "GraphPair" in repr(small_pair)
+
+
+class TestSyntheticPair:
+    def test_full_overlap_ground_truth_is_permutation(self):
+        source = powerlaw_cluster_graph(30, 3, random_state=0)
+        pair = synthetic_pair(source, edge_removal_ratio=0.1, random_state=0)
+        assert pair.n_anchors == 30
+        assert sorted(pair.ground_truth.tolist()) == list(range(30))
+
+    def test_partial_overlap(self):
+        source = powerlaw_cluster_graph(40, 3, random_state=0)
+        pair = synthetic_pair(
+            source, target_node_fraction=0.5, random_state=0
+        )
+        assert pair.target.n_nodes == 20
+        assert pair.n_anchors == 20
+        assert (pair.ground_truth == -1).sum() == 20
+
+    def test_ground_truth_preserves_attributes_without_noise(self):
+        source = powerlaw_cluster_graph(25, 3, random_state=1)
+        pair = synthetic_pair(source, edge_removal_ratio=0.0, random_state=1)
+        for i, j in pair.anchor_links:
+            np.testing.assert_array_equal(
+                pair.source.attributes[i], pair.target.attributes[j]
+            )
+
+    def test_edges_removed(self):
+        source = powerlaw_cluster_graph(30, 4, random_state=2)
+        pair = synthetic_pair(source, edge_removal_ratio=0.3, random_state=2)
+        assert pair.target.n_edges < pair.source.n_edges
+
+    def test_invalid_fraction(self):
+        source = powerlaw_cluster_graph(20, 2, random_state=0)
+        with pytest.raises(ValueError):
+            synthetic_pair(source, target_node_fraction=0.0)
+
+
+class TestPaperDatasets:
+    @pytest.mark.parametrize(
+        "factory,attr_dim",
+        [(allmovie_imdb, 14), (douban, 16), (flickr_myspace, 3)],
+    )
+    def test_real_world_standins(self, factory, attr_dim):
+        pair = factory(scale=0.25, random_state=0)
+        assert pair.source.n_attributes == attr_dim
+        assert pair.n_anchors > 0
+        assert pair.source.n_nodes >= 60
+
+    def test_allmovie_denser_than_flickr(self):
+        dense = allmovie_imdb(scale=0.3, random_state=0)
+        sparse = flickr_myspace(scale=0.3, random_state=0)
+        assert dense.source.average_degree > sparse.source.average_degree
+
+    def test_douban_partial_overlap(self):
+        pair = douban(scale=0.3, random_state=0)
+        assert pair.target.n_nodes < pair.source.n_nodes
+
+    @pytest.mark.parametrize("factory", [econ, bn])
+    def test_robustness_datasets_accept_noise_level(self, factory):
+        low = factory(edge_removal_ratio=0.1, scale=0.3, random_state=0)
+        high = factory(edge_removal_ratio=0.5, scale=0.3, random_state=0)
+        assert high.target.n_edges < low.target.n_edges
+        assert low.n_anchors == low.source.n_nodes
+
+    def test_scale_changes_size(self):
+        small = econ(scale=0.3, random_state=0)
+        large = econ(scale=0.6, random_state=0)
+        assert large.source.n_nodes > small.source.n_nodes
+
+    def test_tiny_pair_deterministic(self):
+        a = tiny_pair(n_nodes=20, random_state=5)
+        b = tiny_pair(n_nodes=20, random_state=5)
+        np.testing.assert_array_equal(a.ground_truth, b.ground_truth)
+        assert a.source == b.source
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert {"allmovie_imdb", "douban", "flickr_myspace", "econ", "bn", "tiny"} <= set(
+            names
+        )
+
+    def test_load_dataset_forwards_kwargs(self):
+        pair = load_dataset("econ", edge_removal_ratio=0.3, scale=0.3, random_state=0)
+        assert "0.3" in pair.name
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imaginary")
+
+    def test_register_custom_dataset(self):
+        register_dataset("custom-test", lambda **kwargs: tiny_pair(n_nodes=15))
+        pair = load_dataset("custom-test")
+        assert pair.source.n_nodes == 15
+
+    def test_register_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            register_dataset("bad", 42)
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, small_pair):
+        directory = save_pair(small_pair, tmp_path / "pair")
+        loaded = load_pair(directory)
+        assert loaded.name == small_pair.name
+        assert loaded.source == small_pair.source
+        assert loaded.target == small_pair.target
+        np.testing.assert_array_equal(loaded.ground_truth, small_pair.ground_truth)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_pair(tmp_path / "does-not-exist")
+
+    def test_partial_overlap_roundtrip(self, tmp_path):
+        pair = douban(scale=0.3, random_state=0)
+        loaded = load_pair(save_pair(pair, tmp_path / "douban"))
+        np.testing.assert_array_equal(loaded.ground_truth, pair.ground_truth)

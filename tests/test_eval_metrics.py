@@ -1,0 +1,123 @@
+"""Tests for precision@q and MRR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    evaluate_alignment,
+    mean_reciprocal_rank,
+    precision_at_q,
+)
+
+
+class TestPrecisionAtQ:
+    def test_perfect_alignment(self):
+        scores = np.eye(5)
+        truth = np.arange(5)
+        assert precision_at_q(scores, truth, 1) == 1.0
+
+    def test_completely_wrong(self):
+        scores = np.eye(3)
+        truth = np.array([1, 2, 0])
+        assert precision_at_q(scores, truth, 1) == 0.0
+
+    def test_partial(self):
+        scores = np.eye(4)
+        truth = np.array([0, 1, 3, 2])
+        assert precision_at_q(scores, truth, 1) == 0.5
+
+    def test_larger_q_recovers_misses(self):
+        scores = np.array([[0.9, 0.8, 0.1], [0.3, 0.2, 0.9], [0.5, 0.6, 0.4]])
+        truth = np.array([1, 0, 1])
+        assert precision_at_q(scores, truth, 1) < 1.0
+        assert precision_at_q(scores, truth, 3) == 1.0
+
+    def test_unmatched_nodes_skipped(self):
+        scores = np.eye(4)
+        truth = np.array([0, -1, -1, 3])
+        assert precision_at_q(scores, truth, 1) == 1.0
+
+    def test_all_unmatched_returns_zero(self):
+        assert precision_at_q(np.eye(3), np.full(3, -1), 1) == 0.0
+
+    def test_q_clipped_to_targets(self):
+        scores = np.ones((2, 3))
+        truth = np.array([0, 1])
+        assert precision_at_q(scores, truth, 100) == 1.0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            precision_at_q(np.eye(2), np.arange(2), 0)
+
+    def test_bad_ground_truth_shape(self):
+        with pytest.raises(ValueError):
+            precision_at_q(np.eye(3), np.arange(2))
+
+    def test_ground_truth_out_of_range(self):
+        with pytest.raises(ValueError):
+            precision_at_q(np.eye(3), np.array([0, 1, 5]))
+
+    def test_monotone_in_q(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(20, 20))
+        truth = rng.permutation(20)
+        values = [precision_at_q(scores, truth, q) for q in (1, 3, 5, 10, 20)]
+        assert values == sorted(values)
+
+
+class TestMRR:
+    def test_perfect(self):
+        assert mean_reciprocal_rank(np.eye(4), np.arange(4)) == 1.0
+
+    def test_rank_two_everywhere(self):
+        scores = np.array([[0.5, 1.0], [1.0, 0.5]])
+        truth = np.array([0, 1])
+        assert mean_reciprocal_rank(scores, truth) == pytest.approx(0.5)
+
+    def test_ties_use_mid_rank(self):
+        scores = np.ones((1, 5))
+        truth = np.array([2])
+        # All five candidates tie: mid-rank = 1 + 0 + 4/2 = 3.
+        assert mean_reciprocal_rank(scores, truth) == pytest.approx(1.0 / 3.0)
+
+    def test_unmatched_skipped(self):
+        scores = np.eye(3)
+        truth = np.array([0, -1, 2])
+        assert mean_reciprocal_rank(scores, truth) == 1.0
+
+    def test_mrr_at_least_inverse_of_worst_rank(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=(10, 15))
+        truth = rng.permutation(15)[:10]
+        assert mean_reciprocal_rank(scores, truth) >= 1.0 / 15.0
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_mrr_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=(8, 12))
+        truth = rng.permutation(12)[:8]
+        value = mean_reciprocal_rank(scores, truth)
+        assert 0.0 < value <= 1.0
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_mrr_upper_bounds_p1(self, seed):
+        """MRR >= p@1 always (each anchor contributes 1/rank >= indicator)."""
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=(8, 12))
+        truth = rng.permutation(12)[:8]
+        assert mean_reciprocal_rank(scores, truth) >= precision_at_q(scores, truth, 1) - 1e-12
+
+
+class TestEvaluateAlignment:
+    def test_contains_requested_metrics(self):
+        scores = np.eye(4)
+        metrics = evaluate_alignment(scores, np.arange(4), precision_ks=(1, 2, 3))
+        assert set(metrics) == {"p@1", "p@2", "p@3", "MRR"}
+
+    def test_default_keys(self):
+        metrics = evaluate_alignment(np.eye(4), np.arange(4))
+        assert set(metrics) == {"p@1", "p@10", "MRR"}

@@ -1,0 +1,175 @@
+"""Tests for the experiment protocol, robustness sweep, hyper-parameter sweep,
+ablation runner, and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AttributeAligner, DegreeAligner, IsoRank
+from repro.core.config import HTCConfig
+from repro.datasets.synthetic import econ, tiny_pair
+from repro.eval.ablation import run_ablation
+from repro.eval.hyperparameter import sweep_hyperparameter, sweepable_parameters
+from repro.eval.protocol import best_by_metric, run_comparison, run_method
+from repro.eval.reporting import format_importance_ranking, format_series, format_table
+from repro.eval.robustness import degradation, run_robustness
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return tiny_pair(n_nodes=30, random_state=0)
+
+
+FAST_CONFIG = HTCConfig(
+    epochs=5, embedding_dim=8, orbits=[0, 1], n_neighbors=5, random_state=0
+)
+
+
+class TestRunMethod:
+    def test_result_fields(self, pair):
+        result = run_method(DegreeAligner(), pair, random_state=0)
+        assert result.method == "Degree"
+        assert result.dataset == pair.name
+        assert {"p@1", "p@10", "MRR"} <= set(result.metrics)
+        assert result.time_seconds >= 0
+
+    def test_supervised_method_gets_anchors(self, pair):
+        result = run_method(IsoRank(n_iterations=5), pair, train_ratio=0.2, random_state=0)
+        assert result.metrics["p@1"] >= 0.0
+
+    def test_multiple_runs_averaged(self, pair):
+        result = run_method(AttributeAligner(), pair, n_runs=3, random_state=0)
+        assert result.n_runs == 3
+
+    def test_invalid_runs(self, pair):
+        with pytest.raises(ValueError):
+            run_method(DegreeAligner(), pair, n_runs=0)
+
+    def test_htc_stage_times_collected(self, pair):
+        from repro.core import HTCAligner
+
+        result = run_method(HTCAligner(FAST_CONFIG), pair, random_state=0)
+        assert "multi_orbit_training" in result.stage_times
+
+    def test_as_row_flattens(self, pair):
+        row = run_method(DegreeAligner(), pair, random_state=0).as_row()
+        assert row["method"] == "Degree"
+        assert "p@1" in row and "time_s" in row
+
+
+class TestRunComparison:
+    def test_cross_product(self, pair):
+        results = run_comparison(
+            [DegreeAligner(), AttributeAligner()], [pair], random_state=0
+        )
+        assert len(results) == 2
+        assert {r.method for r in results} == {"Degree", "Attribute"}
+
+    def test_best_by_metric(self, pair):
+        results = run_comparison(
+            [DegreeAligner(), AttributeAligner()], [pair], random_state=0
+        )
+        best = best_by_metric(results, "p@1")
+        assert best.metrics["p@1"] == max(r.metrics["p@1"] for r in results)
+
+    def test_best_by_metric_empty(self):
+        assert best_by_metric([], "p@1") is None
+
+
+class TestRobustness:
+    def test_points_cover_grid(self):
+        points = run_robustness(
+            [DegreeAligner()],
+            econ,
+            noise_ratios=(0.1, 0.3),
+            scale=0.3,
+            random_state=0,
+        )
+        assert len(points) == 2
+        assert {p.noise_ratio for p in points} == {0.1, 0.3}
+
+    def test_degradation_computation(self):
+        points = run_robustness(
+            [AttributeAligner()],
+            econ,
+            noise_ratios=(0.1, 0.5),
+            scale=0.3,
+            random_state=0,
+        )
+        drop = degradation(points, "Attribute")
+        assert isinstance(drop, float)
+
+    def test_degradation_needs_two_points(self):
+        points = run_robustness(
+            [DegreeAligner()], econ, noise_ratios=(0.1,), scale=0.3, random_state=0
+        )
+        with pytest.raises(ValueError):
+            degradation(points, "Degree")
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            run_robustness([DegreeAligner()], econ, noise_ratios=(1.5,), scale=0.3)
+
+
+class TestHyperparameterSweep:
+    def test_sweepable_parameters(self):
+        assert set(sweepable_parameters()) == {
+            "n_orbits",
+            "embedding_dim",
+            "n_neighbors",
+            "reinforcement_rate",
+        }
+
+    def test_orbit_sweep(self, pair):
+        points = sweep_hyperparameter(
+            "n_orbits", [1, 3], pair, base_config=FAST_CONFIG, random_state=0
+        )
+        assert [p.value for p in points] == [1.0, 3.0]
+        assert all("p@1" in p.metrics for p in points)
+
+    def test_unknown_parameter(self, pair):
+        with pytest.raises(KeyError):
+            sweep_hyperparameter("dropout", [0.1], pair)
+
+    def test_empty_values(self, pair):
+        with pytest.raises(ValueError):
+            sweep_hyperparameter("n_orbits", [], pair)
+
+
+class TestAblationRunner:
+    def test_runs_requested_variants(self, pair):
+        results = run_ablation(
+            [pair], variants=("HTC-L", "HTC-H"), base_config=FAST_CONFIG, random_state=0
+        )
+        assert {r.method for r in results} == {"HTC-L", "HTC-H"}
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [
+            {"method": "HTC", "p@1": 0.84, "time_s": 87.5},
+            {"method": "GAlign", "p@1": 0.82, "time_s": 92.4},
+        ]
+        text = format_table(rows, title="Table II")
+        assert "Table II" in text
+        assert "HTC" in text and "GAlign" in text
+        assert "0.8400" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_format_table_heterogeneous_columns(self):
+        rows = [{"a": 1}, {"b": 2.0}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_format_series(self):
+        text = format_series(
+            {"HTC": [(0.1, 0.99), (0.5, 0.75)]}, x_label="noise", y_label="p@1"
+        )
+        assert "HTC" in text and "0.100" in text and "0.7500" in text
+
+    def test_format_importance_ranking(self):
+        text = format_importance_ranking({0: 0.2, 3: 0.8}, title="orbit importance")
+        lines = text.splitlines()
+        assert "orbit  3" in lines[1]
+        assert "#" in lines[1]

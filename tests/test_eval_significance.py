@@ -1,0 +1,110 @@
+"""Tests for multi-run aggregation and the paired bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AttributeAligner, DegreeAligner
+from repro.datasets.synthetic import tiny_pair
+from repro.eval.significance import (
+    aggregate_runs,
+    compare_methods_on_pair,
+    paired_bootstrap,
+    per_anchor_hits,
+)
+
+
+class TestAggregateRuns:
+    def test_mean_and_std(self):
+        runs = [{"p@1": 0.8}, {"p@1": 0.6}]
+        aggregated = aggregate_runs(runs)
+        assert aggregated["p@1"].mean == pytest.approx(0.7)
+        assert aggregated["p@1"].std == pytest.approx(0.1)
+        assert aggregated["p@1"].minimum == 0.6
+        assert aggregated["p@1"].maximum == 0.8
+        assert aggregated["p@1"].n_runs == 2
+
+    def test_multiple_metrics(self):
+        runs = [{"p@1": 0.5, "MRR": 0.7}, {"p@1": 0.6, "MRR": 0.8}]
+        aggregated = aggregate_runs(runs)
+        assert set(aggregated) == {"p@1", "MRR"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
+
+    def test_inconsistent_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([{"p@1": 0.5}, {"MRR": 0.7}])
+
+    def test_str_formatting(self):
+        text = str(aggregate_runs([{"p@1": 0.5}])["p@1"])
+        assert "p@1" in text and "0.5000" in text
+
+
+class TestPerAnchorHits:
+    def test_identity_matrix(self):
+        hits = per_anchor_hits(np.eye(4), np.arange(4), q=1)
+        np.testing.assert_array_equal(hits, np.ones(4))
+
+    def test_skips_unmatched(self):
+        hits = per_anchor_hits(np.eye(4), np.array([0, -1, 2, -1]), q=1)
+        assert hits.shape == (2,)
+
+    def test_mean_equals_precision(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(20, 20))
+        truth = rng.permutation(20)
+        from repro.eval.metrics import precision_at_q
+
+        assert per_anchor_hits(scores, truth, 5).mean() == pytest.approx(
+            precision_at_q(scores, truth, 5)
+        )
+
+
+class TestPairedBootstrap:
+    def test_clear_winner(self):
+        hits_a = np.ones(50)
+        hits_b = np.zeros(50)
+        result = paired_bootstrap(hits_a, hits_b, n_resamples=200, random_state=0)
+        assert result["difference"] == pytest.approx(1.0)
+        assert result["p_a_geq_b"] == 1.0
+
+    def test_identical_methods(self):
+        hits = np.random.default_rng(0).integers(0, 2, size=40).astype(float)
+        result = paired_bootstrap(hits, hits.copy(), n_resamples=100, random_state=0)
+        assert result["difference"] == 0.0
+        assert result["p_a_geq_b"] == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.array([]), np.array([]))
+
+    def test_invalid_resamples(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.ones(3), np.zeros(3), n_resamples=0)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 2, 30).astype(float)
+        b = rng.integers(0, 2, 30).astype(float)
+        r1 = paired_bootstrap(a, b, n_resamples=300, random_state=5)
+        r2 = paired_bootstrap(a, b, n_resamples=300, random_state=5)
+        assert r1 == r2
+
+
+class TestCompareMethodsOnPair:
+    def test_end_to_end(self):
+        pair = tiny_pair(n_nodes=30, random_state=0)
+        result = compare_methods_on_pair(
+            AttributeAligner(),
+            DegreeAligner(),
+            pair,
+            n_resamples=100,
+            random_state=0,
+        )
+        assert set(result) == {"difference", "p_a_geq_b", "n_anchors", "n_resamples"}
+        assert result["n_anchors"] == pair.n_anchors

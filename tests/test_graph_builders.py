@@ -1,0 +1,86 @@
+"""Tests for repro.graph.builders."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edge_list, from_networkx, to_networkx
+
+
+class TestFromEdgeList:
+    def test_infers_node_count(self):
+        graph = from_edge_list([(0, 4)])
+        assert graph.n_nodes == 5
+
+    def test_explicit_node_count(self):
+        graph = from_edge_list([(0, 1)], n_nodes=10)
+        assert graph.n_nodes == 10
+
+    def test_empty_edges_need_node_count(self):
+        with pytest.raises(ValueError):
+            from_edge_list([])
+
+    def test_duplicate_edges_collapse_to_weight_one(self):
+        graph = from_edge_list([(0, 1), (0, 1), (1, 0)], n_nodes=2)
+        assert graph.n_edges == 1
+        assert graph.adjacency[0, 1] == 1.0
+
+    def test_attributes_attached(self):
+        attrs = np.eye(3)
+        graph = from_edge_list([(0, 1), (1, 2)], n_nodes=3, attributes=attrs)
+        np.testing.assert_array_equal(graph.attributes, attrs)
+
+
+class TestFromNetworkx:
+    def test_roundtrip_edge_set(self):
+        nx_graph = nx.cycle_graph(5)
+        graph = from_networkx(nx_graph)
+        assert graph.n_nodes == 5
+        assert graph.n_edges == 5
+
+    def test_non_integer_labels_relabelled(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edges_from([("a", "b"), ("b", "c")])
+        graph = from_networkx(nx_graph)
+        assert graph.n_nodes == 3
+        assert graph.n_edges == 2
+
+    def test_attribute_keys(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_node(0, age=10.0)
+        nx_graph.add_node(1, age=20.0)
+        nx_graph.add_edge(0, 1)
+        graph = from_networkx(nx_graph, attribute_keys=["age"])
+        np.testing.assert_array_equal(graph.attributes.ravel(), [10.0, 20.0])
+
+    def test_directed_graph_converted(self):
+        directed = nx.DiGraph([(0, 1), (1, 2)])
+        graph = from_networkx(directed)
+        assert graph.has_edge(1, 0)
+
+    def test_graph_without_edges(self):
+        nx_graph = nx.empty_graph(4)
+        graph = from_networkx(nx_graph)
+        assert graph.n_nodes == 4
+        assert graph.n_edges == 0
+
+    def test_self_loops_dropped(self):
+        nx_graph = nx.Graph([(0, 0), (0, 1)])
+        graph = from_networkx(nx_graph)
+        assert graph.n_edges == 1
+
+
+class TestToNetworkx:
+    def test_roundtrip(self, triangle_graph):
+        nx_graph = to_networkx(triangle_graph)
+        assert set(nx_graph.edges()) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_includes_attributes_when_requested(self, attributed_graph):
+        nx_graph = to_networkx(attributed_graph, include_attributes=True)
+        np.testing.assert_array_equal(
+            nx_graph.nodes[0]["x"], attributed_graph.attributes[0]
+        )
+
+    def test_node_count_preserved_with_isolated_nodes(self):
+        graph = from_edge_list([(0, 1)], n_nodes=5)
+        assert to_networkx(graph).number_of_nodes() == 5

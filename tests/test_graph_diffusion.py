@@ -1,0 +1,76 @@
+"""Tests for repro.graph.diffusion (the HTC-DT substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.diffusion import (
+    diffusion_matrix_family,
+    heat_kernel_matrix,
+    ppr_matrix,
+)
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster_graph(30, 3, random_state=0)
+
+
+class TestPPR:
+    def test_shape(self, graph):
+        matrix = ppr_matrix(graph, order=3)
+        assert matrix.shape == (30, 30)
+
+    def test_non_negative(self, graph):
+        matrix = ppr_matrix(graph, order=3)
+        assert (matrix.toarray() >= 0).all()
+
+    def test_higher_order_is_denser(self, graph):
+        low = ppr_matrix(graph, order=1, threshold=1e-6)
+        high = ppr_matrix(graph, order=5, threshold=1e-6)
+        assert high.nnz >= low.nnz
+
+    def test_invalid_alpha(self, graph):
+        with pytest.raises(ValueError):
+            ppr_matrix(graph, alpha=0.0)
+        with pytest.raises(ValueError):
+            ppr_matrix(graph, alpha=1.0)
+
+    def test_invalid_order(self, graph):
+        with pytest.raises(ValueError):
+            ppr_matrix(graph, order=0)
+
+    def test_threshold_sparsifies(self, graph):
+        dense = ppr_matrix(graph, order=5, threshold=0.0)
+        sparse = ppr_matrix(graph, order=5, threshold=1e-2)
+        assert sparse.nnz <= dense.nnz
+
+    def test_deterministic(self, graph):
+        a = ppr_matrix(graph, order=3).toarray()
+        b = ppr_matrix(graph, order=3).toarray()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHeatKernel:
+    def test_shape_and_nonnegative(self, graph):
+        matrix = heat_kernel_matrix(graph, t=2.0, order=4)
+        assert matrix.shape == (30, 30)
+        assert (matrix.toarray() >= -1e-12).all()
+
+    def test_invalid_t(self, graph):
+        with pytest.raises(ValueError):
+            heat_kernel_matrix(graph, t=0.0)
+
+    def test_invalid_order(self, graph):
+        with pytest.raises(ValueError):
+            heat_kernel_matrix(graph, order=0)
+
+
+class TestDiffusionFamily:
+    def test_one_matrix_per_order(self, graph):
+        family = diffusion_matrix_family(graph, orders=[1, 2, 3])
+        assert len(family) == 3
+
+    def test_empty_orders_rejected(self, graph):
+        with pytest.raises(ValueError):
+            diffusion_matrix_family(graph, orders=[])

@@ -1,0 +1,91 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    sbm_graph,
+)
+from repro.graph.validation import validate_graph
+
+
+class TestPowerlawClusterGraph:
+    def test_size_and_attributes(self):
+        graph = powerlaw_cluster_graph(50, 3, n_attributes=5, random_state=0)
+        assert graph.n_nodes == 50
+        assert graph.n_attributes == 5
+
+    def test_attributes_are_one_hot(self):
+        graph = powerlaw_cluster_graph(40, 3, n_attributes=4, random_state=0)
+        row_sums = graph.attributes.sum(axis=1)
+        np.testing.assert_array_equal(row_sums, np.ones(40))
+
+    def test_deterministic_given_seed(self):
+        a = powerlaw_cluster_graph(30, 2, random_state=5)
+        b = powerlaw_cluster_graph(30, 2, random_state=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = powerlaw_cluster_graph(30, 2, random_state=1)
+        b = powerlaw_cluster_graph(30, 2, random_state=2)
+        assert a != b
+
+    def test_average_degree_scales_with_edges_per_node(self):
+        sparse = powerlaw_cluster_graph(100, 2, random_state=0)
+        dense = powerlaw_cluster_graph(100, 8, random_state=0)
+        assert dense.average_degree > sparse.average_degree
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(3, 1)
+
+    def test_valid_graph(self):
+        report = validate_graph(powerlaw_cluster_graph(40, 3, random_state=0))
+        assert report.valid
+
+
+class TestErdosRenyi:
+    def test_average_degree_close_to_target(self):
+        graph = erdos_renyi_graph(300, average_degree=6.0, random_state=0)
+        assert 4.0 < graph.average_degree < 8.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(1, 2.0)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 0.0)
+
+    def test_attribute_dimension(self):
+        graph = erdos_renyi_graph(30, 3.0, n_attributes=7, random_state=0)
+        assert graph.n_attributes == 7
+
+
+class TestSBM:
+    def test_block_structure_denser_inside(self):
+        graph = sbm_graph([40, 40], p_in=0.3, p_out=0.01, random_state=0)
+        adjacency = graph.adjacency.toarray()
+        inside = adjacency[:40, :40].sum() + adjacency[40:, 40:].sum()
+        across = adjacency[:40, 40:].sum() * 2
+        assert inside > across
+
+    def test_attributes_track_blocks(self):
+        graph = sbm_graph([30, 30], p_in=0.2, p_out=0.01, label_fidelity=1.0, random_state=0)
+        block0_categories = graph.attributes[:30].argmax(axis=1)
+        block1_categories = graph.attributes[30:].argmax(axis=1)
+        assert np.all(block0_categories == block0_categories[0])
+        assert np.all(block1_categories == block1_categories[0])
+        assert block0_categories[0] != block1_categories[0]
+
+    def test_total_size(self):
+        graph = sbm_graph([10, 20, 30], p_in=0.3, p_out=0.02, random_state=0)
+        assert graph.n_nodes == 60
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            sbm_graph([10, 10], p_in=0.1, p_out=0.5)
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            sbm_graph([], p_in=0.5, p_out=0.1)

@@ -1,0 +1,116 @@
+"""Tests for repro.graph.laplacian (Eq. 3 and the normalisation scheme)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.laplacian import (
+    normalized_laplacian,
+    orbit_laplacian,
+    reinforced_laplacian,
+    self_connection_matrix,
+)
+from repro.utils.sparse import is_symmetric, sparse_from_edges
+
+
+def _random_orbit_matrix(rng, n):
+    dense = rng.integers(0, 4, size=(n, n)).astype(float)
+    dense = np.triu(dense, k=1)
+    dense = dense + dense.T
+    return sp.csr_matrix(dense)
+
+
+class TestSelfConnection:
+    def test_max_of_row(self):
+        orbit = sparse_from_edges([(0, 1), (0, 2)], 3, weights=[2.0, 5.0])
+        diag = self_connection_matrix(orbit).diagonal()
+        assert diag[0] == 5.0
+        assert diag[1] == 2.0
+        assert diag[2] == 5.0
+
+    def test_isolated_node_gets_one(self):
+        orbit = sparse_from_edges([(0, 1)], 3)
+        diag = self_connection_matrix(orbit).diagonal()
+        assert diag[2] == 1.0
+
+    def test_empty_matrix_all_ones(self):
+        orbit = sp.csr_matrix((4, 4))
+        np.testing.assert_array_equal(self_connection_matrix(orbit).diagonal(), np.ones(4))
+
+
+class TestOrbitLaplacian:
+    def test_symmetric(self):
+        orbit = sparse_from_edges([(0, 1), (1, 2)], 3, weights=[3.0, 1.0])
+        assert is_symmetric(orbit_laplacian(orbit))
+
+    def test_entries_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        lap = orbit_laplacian(_random_orbit_matrix(rng, 8)).toarray()
+        assert (lap >= 0.0).all()
+        assert (lap <= 1.0 + 1e-9).all()
+
+    def test_rejects_negative_weights(self):
+        bad = sp.csr_matrix(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            orbit_laplacian(bad)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            orbit_laplacian(sp.csr_matrix((2, 3)))
+
+    def test_spectral_radius_at_most_one(self):
+        rng = np.random.default_rng(1)
+        lap = orbit_laplacian(_random_orbit_matrix(rng, 10)).toarray()
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert np.abs(eigenvalues).max() <= 1.0 + 1e-8
+
+    def test_diagonal_positive(self):
+        orbit = sparse_from_edges([(0, 1)], 3, weights=[4.0])
+        lap = orbit_laplacian(orbit)
+        assert (lap.diagonal() > 0).all()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_matrices_produce_finite_laplacians(self, seed):
+        rng = np.random.default_rng(seed)
+        lap = orbit_laplacian(_random_orbit_matrix(rng, 6))
+        assert np.isfinite(lap.toarray()).all()
+
+
+class TestNormalizedLaplacian:
+    def test_identity_for_empty_graph(self):
+        lap = normalized_laplacian(sp.csr_matrix((3, 3)))
+        np.testing.assert_allclose(lap.toarray(), np.eye(3))
+
+    def test_symmetric(self, triangle_graph):
+        assert is_symmetric(normalized_laplacian(triangle_graph.adjacency))
+
+    def test_known_value_for_single_edge(self):
+        adjacency = sparse_from_edges([(0, 1)], 2)
+        lap = normalized_laplacian(adjacency).toarray()
+        np.testing.assert_allclose(lap, np.full((2, 2), 0.5))
+
+
+class TestReinforcedLaplacian:
+    def test_all_ones_is_identity_operation(self, triangle_graph):
+        lap = normalized_laplacian(triangle_graph.adjacency)
+        reinforced = reinforced_laplacian(lap, np.ones(3))
+        np.testing.assert_allclose(reinforced.toarray(), lap.toarray())
+
+    def test_scales_rows_and_columns(self):
+        lap = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        reinforced = reinforced_laplacian(lap, np.array([2.0, 1.0])).toarray()
+        assert reinforced[0, 1] == pytest.approx(2.0)
+        assert reinforced[1, 0] == pytest.approx(2.0)
+
+    def test_length_mismatch_raises(self):
+        lap = sp.csr_matrix(np.eye(3))
+        with pytest.raises(ValueError):
+            reinforced_laplacian(lap, np.ones(2))
+
+    def test_non_positive_factor_raises(self):
+        lap = sp.csr_matrix(np.eye(2))
+        with pytest.raises(ValueError):
+            reinforced_laplacian(lap, np.array([1.0, 0.0]))

@@ -1,0 +1,127 @@
+"""Tests for repro.graph.perturbation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.graph.perturbation import (
+    add_attribute_noise,
+    make_noisy_copy,
+    permute_graph,
+    remove_edges,
+)
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    return powerlaw_cluster_graph(50, 3, random_state=0)
+
+
+class TestRemoveEdges:
+    def test_removes_requested_fraction(self, base_graph):
+        reduced = remove_edges(base_graph, 0.2, random_state=0)
+        expected = base_graph.n_edges - int(round(0.2 * base_graph.n_edges))
+        assert reduced.n_edges == expected
+
+    def test_zero_ratio_is_copy(self, base_graph):
+        unchanged = remove_edges(base_graph, 0.0, random_state=0)
+        assert unchanged.n_edges == base_graph.n_edges
+
+    def test_node_count_preserved(self, base_graph):
+        reduced = remove_edges(base_graph, 0.5, random_state=0)
+        assert reduced.n_nodes == base_graph.n_nodes
+
+    def test_attributes_preserved(self, base_graph):
+        reduced = remove_edges(base_graph, 0.3, random_state=0)
+        np.testing.assert_array_equal(reduced.attributes, base_graph.attributes)
+
+    def test_invalid_ratio_raises(self, base_graph):
+        with pytest.raises(ValueError):
+            remove_edges(base_graph, 1.0)
+        with pytest.raises(ValueError):
+            remove_edges(base_graph, -0.1)
+
+    def test_removed_edges_are_subset(self, base_graph):
+        reduced = remove_edges(base_graph, 0.4, random_state=1)
+        original_edges = set(base_graph.edge_list())
+        assert set(reduced.edge_list()) <= original_edges
+
+    def test_deterministic_given_seed(self, base_graph):
+        a = remove_edges(base_graph, 0.3, random_state=7)
+        b = remove_edges(base_graph, 0.3, random_state=7)
+        assert a.edge_list() == b.edge_list()
+
+
+class TestPermuteGraph:
+    def test_preserves_edge_count(self, base_graph):
+        permuted, _ = permute_graph(base_graph, random_state=0)
+        assert permuted.n_edges == base_graph.n_edges
+
+    def test_permutation_maps_edges(self, base_graph):
+        permuted, mapping = permute_graph(base_graph, random_state=0)
+        for u, v in base_graph.edge_list():
+            assert permuted.has_edge(int(mapping[u]), int(mapping[v]))
+
+    def test_permutation_maps_attributes(self, base_graph):
+        permuted, mapping = permute_graph(base_graph, random_state=0)
+        for node in range(base_graph.n_nodes):
+            np.testing.assert_array_equal(
+                permuted.attributes[mapping[node]], base_graph.attributes[node]
+            )
+
+    def test_mapping_is_a_permutation(self, base_graph):
+        _, mapping = permute_graph(base_graph, random_state=3)
+        assert sorted(mapping.tolist()) == list(range(base_graph.n_nodes))
+
+    def test_degree_multiset_preserved(self, base_graph):
+        permuted, _ = permute_graph(base_graph, random_state=5)
+        assert sorted(permuted.degrees) == sorted(base_graph.degrees)
+
+
+class TestAttributeNoise:
+    def test_flip_changes_some_entries(self, base_graph):
+        noisy = add_attribute_noise(base_graph, flip_ratio=0.5, random_state=0)
+        assert not np.array_equal(noisy.attributes, base_graph.attributes)
+
+    def test_no_noise_is_identity(self, base_graph):
+        clean = add_attribute_noise(base_graph, flip_ratio=0.0, random_state=0)
+        np.testing.assert_array_equal(clean.attributes, base_graph.attributes)
+
+    def test_gaussian_noise_changes_values(self, base_graph):
+        noisy = add_attribute_noise(base_graph, gaussian_sigma=0.1, random_state=0)
+        assert not np.array_equal(noisy.attributes, base_graph.attributes)
+
+    def test_structure_untouched(self, base_graph):
+        noisy = add_attribute_noise(base_graph, flip_ratio=0.3, random_state=0)
+        assert noisy.edge_list() == base_graph.edge_list()
+
+    def test_invalid_parameters_raise(self, base_graph):
+        with pytest.raises(ValueError):
+            add_attribute_noise(base_graph, flip_ratio=1.5)
+        with pytest.raises(ValueError):
+            add_attribute_noise(base_graph, gaussian_sigma=-1.0)
+
+    def test_flip_preserves_value_domain(self, base_graph):
+        noisy = add_attribute_noise(base_graph, flip_ratio=0.8, random_state=0)
+        original_values = set(np.unique(base_graph.attributes))
+        assert set(np.unique(noisy.attributes)) <= original_values
+
+
+class TestMakeNoisyCopy:
+    def test_mapping_has_graph_size(self, base_graph):
+        noisy, mapping = make_noisy_copy(base_graph, 0.1, random_state=0)
+        assert mapping.shape == (base_graph.n_nodes,)
+        assert noisy.n_nodes == base_graph.n_nodes
+
+    def test_no_permutation_option(self, base_graph):
+        _, mapping = make_noisy_copy(base_graph, 0.1, permute=False, random_state=0)
+        np.testing.assert_array_equal(mapping, np.arange(base_graph.n_nodes))
+
+    @given(st.floats(min_value=0.0, max_value=0.6))
+    @settings(max_examples=10, deadline=None)
+    def test_edge_count_never_increases(self, ratio):
+        graph = powerlaw_cluster_graph(30, 3, random_state=0)
+        noisy, _ = make_noisy_copy(graph, edge_removal_ratio=ratio, random_state=0)
+        assert noisy.n_edges <= graph.n_edges

@@ -1,0 +1,49 @@
+"""Tests for repro.graph.validation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.builders import from_edge_list
+from repro.graph.validation import validate_graph
+
+
+class TestValidateGraph:
+    def test_healthy_graph_passes(self, triangle_graph):
+        report = validate_graph(triangle_graph)
+        assert report.valid
+        assert bool(report) is True
+
+    def test_isolated_nodes_reported_but_valid(self):
+        graph = from_edge_list([(0, 1)], n_nodes=4)
+        report = validate_graph(graph)
+        assert report.valid
+        assert any("isolated" in issue for issue in report.issues)
+
+    def test_nan_attributes_invalid(self, triangle_graph):
+        bad = triangle_graph.with_attributes(np.full((3, 2), np.nan))
+        report = validate_graph(bad)
+        assert not report.valid
+
+    def test_strict_mode_raises(self, triangle_graph):
+        bad = triangle_graph.with_attributes(np.full((3, 1), np.inf))
+        with pytest.raises(ValueError):
+            validate_graph(bad, strict=True)
+
+    def test_strict_mode_does_not_raise_for_warnings(self):
+        graph = from_edge_list([(0, 1)], n_nodes=3)
+        report = validate_graph(graph, strict=True)
+        assert report.valid
+
+    def test_negative_weights_detected(self):
+        adjacency = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        graph = AttributedGraph.__new__(AttributedGraph)
+        # Bypass the constructor's own checks to exercise the validator.
+        import scipy.sparse as sp
+
+        graph._adjacency = sp.csr_matrix(adjacency)
+        graph._attributes = np.ones((2, 1))
+        graph.name = "bad"
+        report = validate_graph(graph)
+        assert not report.valid
+        assert any("negative" in issue for issue in report.issues)

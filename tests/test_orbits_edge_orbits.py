@@ -1,0 +1,224 @@
+"""Tests for the fast edge-orbit counter (the paper's Orca substitute)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import from_edge_list, from_networkx
+from repro.orbits.brute_force import brute_force_edge_orbits
+from repro.orbits.edge_orbits import _classify_quad, count_edge_orbits
+from repro.orbits.graphlets import EDGE_ORBIT_COUNT
+
+
+def _fast_and_slow(graph):
+    return count_edge_orbits(graph), brute_force_edge_orbits(graph)
+
+
+class TestSmallGraphletsExactCounts:
+    """Hand-checked counts on the canonical graphlets themselves."""
+
+    def test_single_edge(self):
+        graph = from_edge_list([(0, 1)], n_nodes=2)
+        counts = count_edge_orbits(graph)
+        expected = np.zeros(EDGE_ORBIT_COUNT, dtype=np.int64)
+        expected[0] = 1
+        np.testing.assert_array_equal(counts.counts[0], expected)
+
+    def test_triangle(self, triangle_graph):
+        counts = count_edge_orbits(triangle_graph)
+        for row in counts.counts:
+            assert row[0] == 1
+            assert row[1] == 0  # no induced two-edge chains in a triangle
+            assert row[2] == 1
+            assert row[3:].sum() == 0
+
+    def test_path4(self, path_graph):
+        counts = count_edge_orbits(path_graph).as_dict()
+        # End edges occur once on orbit 3 (end of the P4) and once on orbit 1.
+        np.testing.assert_array_equal(counts[(0, 1)][[0, 1, 3, 4]], [1, 1, 1, 0])
+        # The middle edge occurs twice on orbit 1 and once on orbit 4.
+        np.testing.assert_array_equal(counts[(1, 2)][[0, 1, 3, 4]], [1, 2, 0, 1])
+
+    def test_star(self, star_graph):
+        counts = count_edge_orbits(star_graph)
+        for row in counts.counts:
+            assert row[0] == 1
+            assert row[1] == 2  # two 2-edge chains through the centre
+            assert row[5] == 1  # the star itself
+            assert row[2] == 0 and row[3] == 0 and row[4] == 0
+
+    def test_clique(self, clique_graph):
+        counts = count_edge_orbits(clique_graph)
+        for row in counts.counts:
+            assert row[0] == 1
+            assert row[2] == 2  # each K4 edge lies in two triangles
+            assert row[12] == 1  # the K4 itself
+            assert row[1] == 0 and row[6] == 0
+
+    def test_paw_orbit_roles(self, paw_graph):
+        counts = count_edge_orbits(paw_graph).as_dict()
+        # Tail edge (2, 3).
+        assert counts[(2, 3)][7] == 1
+        assert counts[(2, 3)][9] == 0
+        # Triangle edge opposite the tailed node: (0, 1).
+        assert counts[(0, 1)][9] == 1
+        assert counts[(0, 1)][8] == 0
+        # Triangle edges incident to the tailed node 2: (0, 2) and (1, 2).
+        assert counts[(0, 2)][8] == 1
+        assert counts[(1, 2)][8] == 1
+
+    def test_diamond_orbit_roles(self, diamond_graph):
+        counts = count_edge_orbits(diamond_graph).as_dict()
+        # The chord (1, 3) is the diagonal.
+        assert counts[(1, 3)][11] == 1
+        assert counts[(1, 3)][10] == 0
+        # Outer edges are on orbit 10.
+        for edge in [(0, 1), (1, 2), (2, 3), (0, 3)]:
+            assert counts[edge][10] == 1
+            assert counts[edge][11] == 0
+
+    def test_figure5_edges_distinguished(self, figure5_graph):
+        """The paper's Fig. 5 claim: (a,b) and (b,c) share low orbits but differ
+        on higher ones."""
+        counts = count_edge_orbits(figure5_graph).as_dict()
+        edge_ab = counts[(0, 1)]
+        edge_bc = counts[(1, 2)]
+        assert edge_ab[0] == edge_bc[0] == 1
+        assert edge_ab[2] == 0  # (a,b) is in no triangle
+        assert edge_bc[2] == 0  # (b,c) is in no triangle either
+        # They must differ on at least one higher-order orbit.
+        assert not np.array_equal(edge_ab, edge_bc)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_gnp_graphs(self, seed):
+        nx_graph = nx.gnp_random_graph(13, 0.3, seed=seed)
+        graph = from_networkx(nx_graph)
+        fast, slow = _fast_and_slow(graph)
+        np.testing.assert_array_equal(fast.counts, slow.counts)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dense_graphs(self, seed):
+        nx_graph = nx.gnp_random_graph(10, 0.6, seed=seed)
+        graph = from_networkx(nx_graph)
+        fast, slow = _fast_and_slow(graph)
+        np.testing.assert_array_equal(fast.counts, slow.counts)
+
+    def test_barbell_graph(self):
+        graph = from_networkx(nx.barbell_graph(4, 2))
+        fast, slow = _fast_and_slow(graph)
+        np.testing.assert_array_equal(fast.counts, slow.counts)
+
+    def test_complete_bipartite(self):
+        graph = from_networkx(nx.complete_bipartite_graph(3, 3))
+        fast, slow = _fast_and_slow(graph)
+        np.testing.assert_array_equal(fast.counts, slow.counts)
+
+    def test_tree(self):
+        graph = from_networkx(nx.balanced_tree(2, 3))
+        fast, slow = _fast_and_slow(graph)
+        np.testing.assert_array_equal(fast.counts, slow.counts)
+
+    @given(st.integers(min_value=0, max_value=10_000), st.floats(min_value=0.1, max_value=0.5))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs_property(self, seed, p):
+        nx_graph = nx.gnp_random_graph(11, p, seed=seed)
+        graph = from_networkx(nx_graph)
+        fast, slow = _fast_and_slow(graph)
+        np.testing.assert_array_equal(fast.counts, slow.counts)
+
+
+class TestClosedFormIdentities:
+    """Aggregate identities that must hold on any graph."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_triangle_identity(self, seed):
+        nx_graph = nx.gnp_random_graph(20, 0.25, seed=seed)
+        graph = from_networkx(nx_graph)
+        counts = count_edge_orbits(graph)
+        n_triangles = sum(nx.triangles(nx_graph).values()) // 3
+        # Every triangle contributes its 3 edges once each to orbit 2.
+        assert counts.orbit_total(2) == 3 * n_triangles
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_orbit0_equals_edge_count(self, seed):
+        nx_graph = nx.gnp_random_graph(20, 0.2, seed=seed)
+        graph = from_networkx(nx_graph)
+        counts = count_edge_orbits(graph)
+        assert counts.orbit_total(0) == graph.n_edges
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_edge_chain_identity(self, seed):
+        nx_graph = nx.gnp_random_graph(18, 0.25, seed=seed)
+        graph = from_networkx(nx_graph)
+        counts = count_edge_orbits(graph)
+        degrees = graph.degrees
+        n_paths2 = int(sum(d * (d - 1) // 2 for d in degrees))
+        n_triangles = sum(nx.triangles(nx_graph).values()) // 3
+        induced_paths2 = n_paths2 - 3 * n_triangles
+        # Each induced two-edge chain contributes its 2 edges to orbit 1.
+        assert counts.orbit_total(1) == 2 * induced_paths2
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_k4_identity(self, seed):
+        nx_graph = nx.gnp_random_graph(14, 0.5, seed=seed)
+        graph = from_networkx(nx_graph)
+        counts = count_edge_orbits(graph)
+        cliques4 = sum(
+            1 for clique in nx.enumerate_all_cliques(nx_graph) if len(clique) == 4
+        )
+        assert counts.orbit_total(12) == 6 * cliques4
+
+
+class TestEdgeOrbitCountsContainer:
+    def test_as_dict_keys_match_edges(self, triangle_graph):
+        counts = count_edge_orbits(triangle_graph)
+        assert set(counts.as_dict()) == set(triangle_graph.edge_list())
+
+    def test_orbit_total_out_of_range(self, triangle_graph):
+        counts = count_edge_orbits(triangle_graph)
+        with pytest.raises(ValueError):
+            counts.orbit_total(13)
+
+    def test_empty_graph(self):
+        graph = from_edge_list([(0, 1)], n_nodes=2)
+        graph = graph.subgraph(np.array([0]))
+        counts = count_edge_orbits(graph)
+        assert counts.n_edges == 0
+        assert counts.counts.shape == (0, EDGE_ORBIT_COUNT)
+
+    def test_counts_are_non_negative(self, figure5_graph):
+        counts = count_edge_orbits(figure5_graph)
+        assert (counts.counts >= 0).all()
+
+
+class TestQuadClassifier:
+    def test_disconnected_patterns_rejected(self):
+        # w attached to nothing.
+        assert _classify_quad(False, False, True, True, False) is None
+        # w and x form their own component.
+        assert _classify_quad(False, False, False, False, True) is None
+
+    def test_clique_pattern(self):
+        assert _classify_quad(True, True, True, True, True) == 12
+
+    def test_cycle_pattern(self):
+        assert _classify_quad(True, False, False, True, True) == 6
+
+    def test_star_pattern(self):
+        assert _classify_quad(True, False, True, False, False) == 5
+
+    def test_middle_chain_pattern(self):
+        assert _classify_quad(True, False, False, True, False) == 4
+
+    def test_end_chain_pattern(self):
+        assert _classify_quad(True, False, False, False, True) == 3
+
+    def test_diamond_diagonal_vs_outer(self):
+        # u, v both degree 3 -> (u, v) is the diagonal.
+        assert _classify_quad(True, True, True, True, False) == 11
+        # One of them has degree 2 -> outer edge.
+        assert _classify_quad(True, True, True, False, True) == 10

@@ -1,0 +1,71 @@
+"""Tests for the ESU connected-subgraph enumerator."""
+
+from itertools import combinations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import from_networkx
+from repro.orbits.esu import enumerate_connected_subgraphs
+
+
+def _reference_enumeration(nx_graph, size):
+    found = set()
+    for nodes in combinations(sorted(nx_graph.nodes()), size):
+        if nx.is_connected(nx_graph.subgraph(nodes)):
+            found.add(tuple(sorted(nodes)))
+    return found
+
+
+class TestESU:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_matches_reference_on_random_graph(self, size):
+        nx_graph = nx.gnp_random_graph(12, 0.3, seed=0)
+        graph = from_networkx(nx_graph)
+        esu = set(enumerate_connected_subgraphs(graph.adjacency_sets(), size))
+        assert esu == _reference_enumeration(nx_graph, size)
+
+    def test_no_duplicates(self):
+        nx_graph = nx.gnp_random_graph(12, 0.4, seed=1)
+        graph = from_networkx(nx_graph)
+        subgraphs = list(enumerate_connected_subgraphs(graph.adjacency_sets(), 4))
+        assert len(subgraphs) == len(set(subgraphs))
+
+    def test_path_graph_counts(self):
+        # A path on n nodes has exactly n-k+1 connected subgraphs of size k.
+        nx_graph = nx.path_graph(10)
+        graph = from_networkx(nx_graph)
+        for size in (2, 3, 4):
+            found = list(enumerate_connected_subgraphs(graph.adjacency_sets(), size))
+            assert len(found) == 10 - size + 1
+
+    def test_complete_graph_counts(self):
+        nx_graph = nx.complete_graph(7)
+        graph = from_networkx(nx_graph)
+        found = list(enumerate_connected_subgraphs(graph.adjacency_sets(), 4))
+        assert len(found) == 35  # C(7, 4)
+
+    def test_size_one_yields_all_nodes(self):
+        graph = from_networkx(nx.empty_graph(5))
+        assert list(enumerate_connected_subgraphs(graph.adjacency_sets(), 1)) == [
+            (0,),
+            (1,),
+            (2,),
+            (3,),
+            (4,),
+        ]
+
+    def test_invalid_size(self):
+        graph = from_networkx(nx.path_graph(3))
+        with pytest.raises(ValueError):
+            list(enumerate_connected_subgraphs(graph.adjacency_sets(), 0))
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_matches_reference(self, seed):
+        nx_graph = nx.gnp_random_graph(9, 0.35, seed=seed)
+        graph = from_networkx(nx_graph)
+        esu = set(enumerate_connected_subgraphs(graph.adjacency_sets(), 4))
+        assert esu == _reference_enumeration(nx_graph, 4)

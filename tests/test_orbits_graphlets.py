@@ -1,0 +1,96 @@
+"""Tests for repro.orbits.graphlets (the template catalogue)."""
+
+import networkx as nx
+import pytest
+
+from repro.orbits.graphlets import (
+    EDGE_ORBIT_COUNT,
+    EDGE_ORBIT_GRAPHLET,
+    EDGE_ORBIT_NAMES,
+    GRAPHLET_NAMES,
+    NODE_ORBIT_COUNT,
+    NODE_ORBIT_GRAPHLET,
+    graphlet_templates,
+    orbits_for_graphlet,
+)
+
+
+class TestCatalogueConsistency:
+    def test_counts(self):
+        assert EDGE_ORBIT_COUNT == 13
+        assert NODE_ORBIT_COUNT == 15
+        assert len(GRAPHLET_NAMES) == 9
+        assert len(EDGE_ORBIT_NAMES) == EDGE_ORBIT_COUNT
+        assert len(EDGE_ORBIT_GRAPHLET) == EDGE_ORBIT_COUNT
+        assert len(NODE_ORBIT_GRAPHLET) == NODE_ORBIT_COUNT
+
+    def test_nine_templates(self):
+        assert len(graphlet_templates()) == 9
+
+    def test_template_sizes(self):
+        sizes = [t.number_of_nodes() for t in graphlet_templates()]
+        assert sizes == [2, 3, 3, 4, 4, 4, 4, 4, 4]
+
+    def test_templates_are_connected(self):
+        for template in graphlet_templates():
+            assert nx.is_connected(template)
+
+    def test_templates_pairwise_non_isomorphic(self):
+        templates = graphlet_templates()
+        for i, a in enumerate(templates):
+            for b in templates[i + 1 :]:
+                assert not nx.is_isomorphic(a, b)
+
+    def test_every_edge_orbit_appears_in_exactly_one_template(self):
+        seen = {}
+        for graphlet_id, template in enumerate(graphlet_templates()):
+            for _, _, data in template.edges(data=True):
+                orbit = data["edge_orbit"]
+                seen.setdefault(orbit, set()).add(graphlet_id)
+        assert set(seen) == set(range(EDGE_ORBIT_COUNT))
+        for orbit, graphlets in seen.items():
+            assert graphlets == {EDGE_ORBIT_GRAPHLET[orbit]}
+
+    def test_every_node_orbit_appears_in_exactly_one_template(self):
+        seen = {}
+        for graphlet_id, template in enumerate(graphlet_templates()):
+            for _, data in template.nodes(data=True):
+                orbit = data["node_orbit"]
+                seen.setdefault(orbit, set()).add(graphlet_id)
+        assert set(seen) == set(range(NODE_ORBIT_COUNT))
+        for orbit, graphlets in seen.items():
+            assert graphlets == {NODE_ORBIT_GRAPHLET[orbit]}
+
+    def test_edge_orbits_respect_automorphisms(self):
+        """Edges mapped to each other by any automorphism share an orbit label."""
+        for template in graphlet_templates():
+            matcher = nx.algorithms.isomorphism.GraphMatcher(template, template)
+            for mapping in matcher.isomorphisms_iter():
+                for u, v, data in template.edges(data=True):
+                    image_orbit = template.edges[mapping[u], mapping[v]]["edge_orbit"]
+                    assert image_orbit == data["edge_orbit"]
+
+    def test_node_orbits_respect_automorphisms(self):
+        for template in graphlet_templates():
+            matcher = nx.algorithms.isomorphism.GraphMatcher(template, template)
+            for mapping in matcher.isomorphisms_iter():
+                for node, data in template.nodes(data=True):
+                    assert (
+                        template.nodes[mapping[node]]["node_orbit"]
+                        == data["node_orbit"]
+                    )
+
+
+class TestOrbitsForGraphlet:
+    def test_triangle_orbits(self):
+        assert orbits_for_graphlet(2) == [2]
+
+    def test_three_edge_chain_has_two_orbits(self):
+        assert orbits_for_graphlet(3) == [3, 4]
+
+    def test_tailed_triangle_has_three_orbits(self):
+        assert orbits_for_graphlet(6) == [7, 8, 9]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            orbits_for_graphlet(9)

@@ -1,0 +1,82 @@
+"""Tests for GOM construction (Eq. 1 and the binary variant)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.builders import from_edge_list
+from repro.orbits.edge_orbits import count_edge_orbits
+from repro.orbits.graphlets import EDGE_ORBIT_COUNT
+from repro.orbits.orbit_matrix import build_orbit_matrices, orbit_sparsity
+from repro.utils.sparse import is_symmetric
+
+
+class TestBuildOrbitMatrices:
+    def test_one_matrix_per_orbit(self, paw_graph):
+        matrices = build_orbit_matrices(paw_graph)
+        assert len(matrices) == EDGE_ORBIT_COUNT
+
+    def test_subset_of_orbits(self, paw_graph):
+        matrices = build_orbit_matrices(paw_graph, orbits=[0, 2])
+        assert len(matrices) == 2
+
+    def test_matrices_are_symmetric(self, figure5_graph):
+        for matrix in build_orbit_matrices(figure5_graph):
+            assert is_symmetric(matrix)
+
+    def test_orbit0_matches_adjacency(self, figure5_graph):
+        orbit0 = build_orbit_matrices(figure5_graph, orbits=[0])[0]
+        np.testing.assert_array_equal(
+            orbit0.toarray(), figure5_graph.adjacency.toarray()
+        )
+
+    def test_values_match_edge_counts(self, clique_graph):
+        counts = count_edge_orbits(clique_graph)
+        matrices = build_orbit_matrices(clique_graph, counts=counts)
+        for index, (u, v) in enumerate(counts.edges):
+            for orbit in range(EDGE_ORBIT_COUNT):
+                assert matrices[orbit][u, v] == counts.counts[index, orbit]
+                assert matrices[orbit][v, u] == counts.counts[index, orbit]
+
+    def test_binary_mode(self, clique_graph):
+        weighted = build_orbit_matrices(clique_graph, orbits=[2], weighted=True)[0]
+        binary = build_orbit_matrices(clique_graph, orbits=[2], weighted=False)[0]
+        assert weighted.max() == 2  # each K4 edge is in two triangles
+        assert binary.max() == 1
+        assert weighted.nnz == binary.nnz
+
+    def test_invalid_orbit_id(self, triangle_graph):
+        with pytest.raises(ValueError):
+            build_orbit_matrices(triangle_graph, orbits=[99])
+
+    def test_empty_graph(self):
+        graph = from_edge_list([(0, 1)], n_nodes=3).subgraph(np.array([2]))
+        matrices = build_orbit_matrices(graph)
+        assert all(matrix.nnz == 0 for matrix in matrices)
+        assert all(matrix.shape == (1, 1) for matrix in matrices)
+
+    def test_higher_orbits_sparser_or_equal(self, figure5_graph):
+        """Higher-order GOMs never contain edges absent from orbit 0."""
+        matrices = build_orbit_matrices(figure5_graph)
+        base = (matrices[0].toarray() > 0)
+        for matrix in matrices[1:]:
+            present = matrix.toarray() > 0
+            assert np.all(base | ~present)
+
+    def test_reuses_precomputed_counts(self, paw_graph):
+        counts = count_edge_orbits(paw_graph)
+        a = build_orbit_matrices(paw_graph, counts=counts)
+        b = build_orbit_matrices(paw_graph)
+        for ma, mb in zip(a, b):
+            np.testing.assert_array_equal(ma.toarray(), mb.toarray())
+
+
+class TestOrbitSparsity:
+    def test_orbit0_density_is_one(self, figure5_graph):
+        matrices = build_orbit_matrices(figure5_graph)
+        sparsity = orbit_sparsity(matrices)
+        assert sparsity[0] == pytest.approx(1.0)
+        assert (sparsity <= 1.0 + 1e-12).all()
+
+    def test_empty_input(self):
+        assert orbit_sparsity([]).size == 0

@@ -1,0 +1,31 @@
+"""Tests for repro.utils.logging."""
+
+import logging
+
+from repro.utils.logging import get_logger, set_verbosity
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        logger = get_logger("mymodule")
+        assert logger.name == "repro.mymodule"
+
+    def test_repro_module_names_kept(self):
+        logger = get_logger("repro.core.aligner")
+        assert logger.name == "repro.core.aligner"
+
+    def test_same_name_returns_same_logger(self):
+        assert get_logger("x") is get_logger("x")
+
+
+class TestSetVerbosity:
+    def test_changes_root_level(self):
+        set_verbosity(logging.DEBUG)
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_verbosity(logging.WARNING)
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_root_has_single_handler(self):
+        get_logger("a")
+        get_logger("b")
+        assert len(logging.getLogger("repro").handlers) == 1

@@ -1,0 +1,76 @@
+"""Tests for repro.utils.random."""
+
+import numpy as np
+import pytest
+
+from repro.utils.random import (
+    check_random_state,
+    seed_everything,
+    spawn_generators,
+)
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).random(5)
+        b = check_random_state(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert check_random_state(rng) is rng
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            check_random_state("not-a-seed")
+
+    def test_numpy_integer_accepted(self):
+        rng = check_random_state(np.int64(7))
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSeedEverything:
+    def test_returns_generator(self):
+        assert isinstance(seed_everything(0), np.random.Generator)
+
+    def test_reseeds_global_numpy(self):
+        seed_everything(123)
+        a = np.random.random(3)
+        seed_everything(123)
+        b = np.random.random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            seed_everything(1.5)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        children = spawn_generators(0, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(0, 2)
+        assert not np.array_equal(children[0].random(5), children[1].random(5))
+
+    def test_deterministic_given_seed(self):
+        a = [g.random(3) for g in spawn_generators(5, 3)]
+        b = [g.random(3) for g in spawn_generators(5, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count_ok(self):
+        assert spawn_generators(0, 0) == []

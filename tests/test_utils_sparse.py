@@ -1,0 +1,116 @@
+"""Tests for repro.utils.sparse."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.sparse import (
+    is_symmetric,
+    row_normalize,
+    safe_inverse_sqrt,
+    sparse_from_edges,
+    symmetrize,
+    to_csr,
+)
+
+
+class TestToCsr:
+    def test_from_dense(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+        csr = to_csr(dense)
+        assert sp.isspmatrix_csr(csr)
+        np.testing.assert_array_equal(csr.toarray(), dense)
+
+    def test_from_sparse(self):
+        coo = sp.coo_matrix(np.eye(3))
+        assert sp.isspmatrix_csr(to_csr(coo))
+
+    def test_eliminates_explicit_zeros(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        matrix.data = np.array([0.0, 1.0]) if matrix.nnz == 2 else matrix.data
+        assert to_csr(matrix).nnz == np.count_nonzero(matrix.toarray())
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            to_csr(np.zeros(3))
+
+
+class TestSparseFromEdges:
+    def test_symmetric_by_default(self):
+        matrix = sparse_from_edges([(0, 1)], 3)
+        assert matrix[0, 1] == 1.0
+        assert matrix[1, 0] == 1.0
+
+    def test_directed_when_requested(self):
+        matrix = sparse_from_edges([(0, 1)], 3, symmetric=False)
+        assert matrix[0, 1] == 1.0
+        assert matrix[1, 0] == 0.0
+
+    def test_weights(self):
+        matrix = sparse_from_edges([(0, 1), (1, 2)], 3, weights=[2.0, 3.0])
+        assert matrix[0, 1] == 2.0
+        assert matrix[2, 1] == 3.0
+
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sparse_from_edges([(0, 1)], 3, weights=[1.0, 2.0])
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(ValueError):
+            sparse_from_edges([(0, 5)], 3)
+
+    def test_shape(self):
+        assert sparse_from_edges([(0, 1)], 7).shape == (7, 7)
+
+
+class TestSymmetrize:
+    def test_makes_directed_symmetric(self):
+        directed = sp.csr_matrix(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        symmetric = symmetrize(directed)
+        assert symmetric[1, 0] == 2.0
+        assert is_symmetric(symmetric)
+
+    def test_idempotent_on_symmetric(self):
+        matrix = sparse_from_edges([(0, 1), (1, 2)], 3)
+        np.testing.assert_array_equal(symmetrize(matrix).toarray(), matrix.toarray())
+
+
+class TestIsSymmetric:
+    def test_true_for_symmetric(self):
+        assert is_symmetric(np.array([[0, 1], [1, 0]]))
+
+    def test_false_for_asymmetric(self):
+        assert not is_symmetric(np.array([[0, 1], [0, 0]]))
+
+    def test_tolerance(self):
+        matrix = np.array([[0.0, 1.0], [1.0 + 1e-12, 0.0]])
+        assert is_symmetric(matrix, tol=1e-10)
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self):
+        matrix = sparse_from_edges([(0, 1), (0, 2), (1, 2)], 3)
+        normalized = row_normalize(matrix)
+        sums = np.asarray(normalized.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, np.ones(3))
+
+    def test_zero_rows_stay_zero(self):
+        matrix = sp.csr_matrix((3, 3))
+        normalized = row_normalize(matrix)
+        assert normalized.nnz == 0
+
+
+class TestSafeInverseSqrt:
+    def test_positive_values(self):
+        np.testing.assert_allclose(safe_inverse_sqrt(np.array([4.0])), [0.5])
+
+    def test_zero_maps_to_zero(self):
+        assert safe_inverse_sqrt(np.array([0.0]))[0] == 0.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_never_produces_inf_or_nan(self, values):
+        out = safe_inverse_sqrt(np.array(values))
+        assert np.isfinite(out).all()

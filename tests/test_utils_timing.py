@@ -1,0 +1,65 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import StageTimer, Timer
+
+
+class TestTimer:
+    def test_context_manager_measures_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_manual_start_stop(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.005)
+        elapsed = timer.stop()
+        assert elapsed > 0
+        assert timer.elapsed == elapsed
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestStageTimer:
+    def test_accumulates_per_stage(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            time.sleep(0.002)
+        with timer.stage("a"):
+            time.sleep(0.002)
+        with timer.stage("b"):
+            pass
+        assert timer.get("a") >= 0.003
+        assert timer.get("b") >= 0.0
+        assert set(timer.as_dict()) == {"a", "b"}
+
+    def test_total_is_sum_of_stages(self):
+        timer = StageTimer()
+        timer.add("x", 1.0)
+        timer.add("y", 2.5)
+        assert timer.total == pytest.approx(3.5)
+
+    def test_unknown_stage_is_zero(self):
+        assert StageTimer().get("missing") == 0.0
+
+    def test_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            StageTimer().add("x", -1.0)
+
+    def test_stage_records_time_even_on_exception(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("failing"):
+                raise RuntimeError("boom")
+        assert "failing" in timer.as_dict()
+
+    def test_repr_contains_stage_names(self):
+        timer = StageTimer()
+        timer.add("training", 0.5)
+        assert "training" in repr(timer)

@@ -1,0 +1,74 @@
+"""Tests for the visualisation utilities (t-SNE and overlap statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.viz.embedding_stats import anchor_overlap_statistics
+from repro.viz.tsne import tsne
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        points = np.random.default_rng(0).normal(size=(40, 10))
+        embedded = tsne(points, n_components=2, n_iterations=60, random_state=0)
+        assert embedded.shape == (40, 2)
+        assert np.isfinite(embedded).all()
+
+    def test_separates_well_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        cluster_a = rng.normal(0.0, 0.1, size=(20, 8))
+        cluster_b = rng.normal(8.0, 0.1, size=(20, 8))
+        points = np.vstack([cluster_a, cluster_b])
+        embedded = tsne(points, n_iterations=200, random_state=0)
+        center_a = embedded[:20].mean(axis=0)
+        center_b = embedded[20:].mean(axis=0)
+        within_a = np.linalg.norm(embedded[:20] - center_a, axis=1).mean()
+        between = np.linalg.norm(center_a - center_b)
+        assert between > 2 * within_a
+
+    def test_deterministic_given_seed(self):
+        points = np.random.default_rng(1).normal(size=(15, 5))
+        a = tsne(points, n_iterations=50, random_state=3)
+        b = tsne(points, n_iterations=50, random_state=3)
+        np.testing.assert_allclose(a, b)
+
+    def test_centering(self):
+        points = np.random.default_rng(2).normal(size=(20, 6))
+        embedded = tsne(points, n_iterations=50, random_state=0)
+        np.testing.assert_allclose(embedded.mean(axis=0), np.zeros(2), atol=1e-8)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((2, 3)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros(10))
+
+
+class TestAnchorOverlapStatistics:
+    def test_perfectly_aligned_embeddings(self):
+        rng = np.random.default_rng(0)
+        source = rng.normal(size=(30, 8))
+        anchors = [(i, i) for i in range(30)]
+        stats = anchor_overlap_statistics(source, source.copy(), anchors, random_state=0)
+        assert stats["mean_anchor_distance"] == pytest.approx(0.0)
+        assert stats["overlap_ratio"] > 1.0
+
+    def test_random_embeddings_have_ratio_near_one(self):
+        rng = np.random.default_rng(1)
+        source = rng.normal(size=(50, 8))
+        target = rng.normal(size=(50, 8))
+        anchors = [(i, i) for i in range(50)]
+        stats = anchor_overlap_statistics(source, target, anchors, random_state=0)
+        assert 0.5 < stats["overlap_ratio"] < 1.5
+
+    def test_empty_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            anchor_overlap_statistics(np.zeros((3, 2)), np.zeros((3, 2)), [])
+
+    def test_reports_anchor_count(self):
+        stats = anchor_overlap_statistics(
+            np.zeros((5, 2)), np.zeros((5, 2)), [(0, 0), (1, 1)], random_state=0
+        )
+        assert stats["n_anchors"] == 2.0
