@@ -1,0 +1,16 @@
+"""Root conftest: make ``src`` importable without exporting PYTHONPATH.
+
+The package uses a src-layout; inserting ``src`` here means a clean checkout
+can run ``python -m pytest`` (the tier-1 command) without any environment
+setup.  The insertion is idempotent and keeps an already-exported PYTHONPATH
+entry ahead of it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -55,7 +55,7 @@ class GDVAligner(BaseAligner):
         self.use_attributes = use_attributes
 
     def align(self, pair: GraphPair, train_anchors: AnchorList = None) -> np.ndarray:
-        from repro.orbits.node_orbits import graphlet_degree_vectors
+        from repro.orbits.engine import graphlet_degree_vectors
 
         self._check_pair(pair)
         source_features = graphlet_degree_vectors(pair.source)

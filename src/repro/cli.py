@@ -37,6 +37,7 @@ from repro.datasets.synthetic import bn, econ
 from repro.eval.protocol import run_comparison, run_method
 from repro.eval.reporting import format_importance_ranking, format_series, format_table
 from repro.eval.robustness import run_robustness
+from repro.orbits.engine import available_backends as available_orbit_backends
 
 _HTC_NAMES = ("HTC",) + tuple(ABLATION_VARIANTS) + tuple(EXTRA_ABLATION_VARIANTS)
 
@@ -56,6 +57,8 @@ def _config_from_args(args: argparse.Namespace) -> HTCConfig:
         epochs=args.epochs,
         n_neighbors=args.neighbors,
         reinforcement_rate=args.beta,
+        orbit_backend=args.orbit_backend,
+        orbit_cache=args.orbit_cache,
         random_state=args.seed,
     )
 
@@ -69,6 +72,18 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--neighbors", type=int, default=10, help="LISI neighbourhood m")
     parser.add_argument("--beta", type=float, default=1.1, help="reinforcement rate")
+    parser.add_argument(
+        "--orbit-backend",
+        choices=("auto",) + available_orbit_backends(),
+        default="auto",
+        help="orbit-counting backend (auto = fastest available)",
+    )
+    parser.add_argument(
+        "--orbit-cache",
+        default="memory",
+        metavar="SPEC",
+        help='orbit-count cache: "memory" (default), "off", or a directory path',
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--runs", type=int, default=1, help="repetitions to average over")
 

@@ -28,14 +28,15 @@ from repro.core.result import AlignmentResult
 from repro.core.training import MultiOrbitTrainer
 from repro.datasets.pair import GraphPair
 from repro.graph.attributed_graph import AttributedGraph
-from repro.orbits.node_orbits import graphlet_degree_vectors
+from repro.orbits.cache import resolve_cache
+from repro.orbits.engine import graphlet_degree_vectors
 from repro.utils.logging import get_logger
 from repro.utils.timing import StageTimer
 
 logger = get_logger(__name__)
 
 
-def _augment_with_gdv(graph: AttributedGraph) -> np.ndarray:
+def _augment_with_gdv(graph: AttributedGraph, config: HTCConfig) -> np.ndarray:
     """Concatenate L2-normalised graphlet degree vectors to the node attributes.
 
     This is the ``augment_with_gdv`` extension: node orbits are isomorphism
@@ -46,7 +47,11 @@ def _augment_with_gdv(graph: AttributedGraph) -> np.ndarray:
     the ablation bench shows the augmentation does not improve on HTC's
     orbit-weighted aggregation (see EXPERIMENTS.md).
     """
-    gdv = graphlet_degree_vectors(graph)
+    gdv = graphlet_degree_vectors(
+        graph,
+        backend=config.orbit_backend,
+        cache=resolve_cache(config.orbit_cache),
+    )
     norms = np.linalg.norm(gdv, axis=1, keepdims=True)
     norms[norms == 0] = 1.0
     return np.hstack([graph.attributes, gdv / norms])
@@ -119,8 +124,8 @@ class HTCAligner:
         target_attributes = target.attributes
         if config.augment_with_gdv:
             with timer.stage(STAGE_OTHER):
-                source_attributes = _augment_with_gdv(source)
-                target_attributes = _augment_with_gdv(target)
+                source_attributes = _augment_with_gdv(source, config)
+                target_attributes = _augment_with_gdv(target, config)
 
         with timer.stage(STAGE_LAPLACIAN):
             source_views = build_topology_views(source, config, source_counts)

@@ -11,8 +11,10 @@ plain configuration fields.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
+from repro.orbits.cache import resolve_cache
+from repro.orbits.engine import AUTO_BACKEND, available_backends
 from repro.orbits.graphlets import EDGE_ORBIT_COUNT
 from repro.utils.random import RandomStateLike
 
@@ -59,6 +61,15 @@ class HTCConfig:
         graphlet degree vector (15 node orbits) to its attributes before
         encoding, which injects higher-order structure even into the
         low-order ablations.
+    orbit_backend:
+        Orbit-counting backend: ``"auto"`` (default; the fastest available),
+        ``"numpy"`` (vectorized bitset counters), or ``"python"`` (the
+        pure-Python reference).  All backends are bit-identical.
+    orbit_cache:
+        Orbit-count memoisation spec: ``"memory"`` (default; process-wide
+        in-memory cache keyed by graph content hash), ``"off"``, a directory
+        path for an on-disk cache, a bool, or an
+        :class:`repro.orbits.OrbitCache` instance.
     diffusion_orders, diffusion_alpha:
         Settings of the diffusion family used when ``topology_mode ==
         "diffusion"``.
@@ -82,6 +93,8 @@ class HTCConfig:
     use_lisi: bool = True
     shared_encoder: bool = True
     augment_with_gdv: bool = False
+    orbit_backend: str = AUTO_BACKEND
+    orbit_cache: Union[bool, str, object] = "memory"
     diffusion_orders: Tuple[int, ...] = (1, 2, 3, 4, 5)
     diffusion_alpha: float = 0.15
     random_state: RandomStateLike = 0
@@ -121,6 +134,16 @@ class HTCConfig:
                 "max_refinement_iterations must be >= 1, "
                 f"got {self.max_refinement_iterations}"
             )
+        valid_backends = (AUTO_BACKEND,) + available_backends()
+        if self.orbit_backend not in valid_backends:
+            raise ValueError(
+                f"orbit_backend must be one of {valid_backends}, "
+                f"got {self.orbit_backend!r}"
+            )
+        try:
+            resolve_cache(self.orbit_cache)
+        except TypeError as exc:
+            raise ValueError(str(exc)) from exc
 
     @property
     def resolved_orbits(self) -> Tuple[int, ...]:

@@ -26,7 +26,9 @@ from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.diffusion import diffusion_matrix_family
 from repro.graph.laplacian import normalized_laplacian, orbit_laplacian
 from repro.nn.layers import SharedGCNEncoder
-from repro.orbits.edge_orbits import EdgeOrbitCounts, count_edge_orbits
+from repro.orbits.cache import resolve_cache
+from repro.orbits.edge_orbits import EdgeOrbitCounts
+from repro.orbits.engine import count_edge_orbits
 from repro.orbits.orbit_matrix import build_orbit_matrices
 
 
@@ -61,10 +63,19 @@ def build_topology_views(
 def count_orbits_if_needed(
     graph: AttributedGraph, config: HTCConfig
 ) -> Optional[EdgeOrbitCounts]:
-    """Run edge-orbit counting only when the configuration requires it."""
+    """Run edge-orbit counting only when the configuration requires it.
+
+    The backend and per-graph memoisation are taken from the config's
+    ``orbit_backend`` / ``orbit_cache`` fields, so repeated alignments of the
+    same graph (robustness and hyper-parameter sweeps) skip the stage.
+    """
     if config.topology_mode != "orbit":
         return None
-    return count_edge_orbits(graph)
+    return count_edge_orbits(
+        graph,
+        backend=config.orbit_backend,
+        cache=resolve_cache(config.orbit_cache),
+    )
 
 
 def make_encoder(in_features: int, config: HTCConfig) -> SharedGCNEncoder:

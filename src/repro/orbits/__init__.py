@@ -6,16 +6,34 @@ This package provides:
 
 * :mod:`repro.orbits.graphlets` — the graphlet catalogue: templates, names,
   node-orbit and edge-orbit labellings,
-* :mod:`repro.orbits.edge_orbits` — the fast combinatorial edge-orbit counter
-  (the role Orca plays in the paper),
+* :mod:`repro.orbits.engine` — the pluggable counting engine (backend
+  selection + content-hash caching); the package-level ``count_edge_orbits``
+  and ``count_node_orbits`` are its entry points,
+* :mod:`repro.orbits.edge_orbits` — the pure-Python combinatorial edge-orbit
+  counter (the role Orca plays in the paper), kept as the exact reference
+  oracle behind the ``"python"`` backend,
+* :mod:`repro.orbits.vectorized` — the bitset/closed-form numpy counters
+  behind the ``"numpy"`` backend,
+* :mod:`repro.orbits.cache` — content-hash-keyed orbit caching (memory and
+  on-disk),
 * :mod:`repro.orbits.brute_force` — an independent reference counter based on
   induced-subgraph enumeration and template isomorphism, used in tests,
-* :mod:`repro.orbits.node_orbits` — node graphlet-degree-vector counting,
+* :mod:`repro.orbits.node_orbits` — pure-Python node graphlet-degree-vector
+  counting (the ``"python"`` node backend),
 * :mod:`repro.orbits.orbit_matrix` — Graphlet Orbit Matrix (GOM) construction
   (Eq. 1), weighted or binary.
 """
 
-from repro.orbits.edge_orbits import EdgeOrbitCounts, count_edge_orbits
+from repro.orbits.cache import OrbitCache, graph_content_hash, resolve_cache
+from repro.orbits.edge_orbits import EdgeOrbitCounts
+from repro.orbits.engine import (
+    available_backends,
+    count_edge_orbits,
+    count_node_orbits,
+    graphlet_degree_vectors,
+    register_backend,
+    resolve_backend,
+)
 from repro.orbits.graphlets import (
     EDGE_ORBIT_COUNT,
     EDGE_ORBIT_NAMES,
@@ -23,7 +41,6 @@ from repro.orbits.graphlets import (
     NODE_ORBIT_COUNT,
     graphlet_templates,
 )
-from repro.orbits.node_orbits import count_node_orbits
 from repro.orbits.orbit_matrix import build_orbit_matrices
 
 __all__ = [
@@ -33,7 +50,14 @@ __all__ = [
     "GRAPHLET_NAMES",
     "graphlet_templates",
     "count_edge_orbits",
-    "EdgeOrbitCounts",
     "count_node_orbits",
+    "graphlet_degree_vectors",
+    "EdgeOrbitCounts",
+    "OrbitCache",
+    "graph_content_hash",
+    "resolve_cache",
+    "available_backends",
+    "resolve_backend",
+    "register_backend",
     "build_orbit_matrices",
 ]

@@ -1,0 +1,278 @@
+"""Content-hash-keyed per-graph orbit caching.
+
+Orbit counting is a pure function of a graph's adjacency *structure*, so its
+results can be memoised across runs: robustness and hyper-parameter sweeps
+re-align the same (or the same perturbed) graphs many times, and every repeat
+currently pays the counting stage again.  :class:`OrbitCache` keys results by
+a SHA-256 of the canonical CSR structure (shape + indptr + indices — edge
+weights and node attributes are irrelevant to orbit counts) and keeps them in
+a bounded in-memory LRU, optionally mirrored to ``.npz`` files on disk so the
+cache survives across processes.
+
+Cache *specs* (accepted by :func:`resolve_cache`, used by ``HTCConfig`` and
+the CLI):
+
+* ``"off"`` / ``"none"`` / ``None`` / ``False`` — no caching,
+* ``"memory"`` / ``True`` — the process-wide shared in-memory cache,
+* any other string / path — a disk-backed cache rooted at that directory,
+* an :class:`OrbitCache` instance — used as is.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+import zipfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.orbits.edge_orbits import EdgeOrbitCounts
+
+#: Cache record kinds and the arrays a well-formed record must contain.
+KIND_EDGE = "edge"
+KIND_NODE = "node"
+_REQUIRED_KEYS = {KIND_EDGE: {"edges", "counts"}, KIND_NODE: {"gdv"}}
+
+CacheSpec = Union[None, bool, str, os.PathLike, "OrbitCache"]
+
+
+def graph_content_hash(graph: AttributedGraph) -> str:
+    """SHA-256 of the graph's adjacency structure (weights ignored).
+
+    Two graphs hash equal iff they have the same node count and the same set
+    of (directed) adjacency positions — exactly the inputs orbit counting
+    depends on.
+    """
+    adjacency = graph.adjacency
+    if not adjacency.has_sorted_indices:
+        adjacency = adjacency.copy()
+        adjacency.sort_indices()
+    digest = hashlib.sha256()
+    digest.update(b"repro-orbit-graph-v1:")
+    digest.update(np.int64(adjacency.shape[0]).tobytes())
+    digest.update(np.asarray(adjacency.indptr, dtype=np.int64).tobytes())
+    digest.update(np.asarray(adjacency.indices, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+class OrbitCache:
+    """Memory (+ optional disk) cache for per-graph orbit counts.
+
+    Parameters
+    ----------
+    directory:
+        When given, every record is also written to
+        ``<directory>/<hash>.<kind>.npz`` and missing memory entries are
+        served from disk, so the cache persists across processes.
+    max_entries:
+        Bound on the number of in-memory records (LRU eviction).  Disk
+        records are never evicted.
+    max_bytes:
+        Bound on the total in-memory record payload (LRU eviction); large
+        sweeps over many distinct big graphs stay within this budget
+        regardless of entry count.
+    """
+
+    def __init__(
+        self,
+        directory: Union[None, str, os.PathLike] = None,
+        max_entries: int = 256,
+        max_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.directory = Path(directory) if directory is not None else None
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._memory: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._memory_bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # generic record plumbing
+    # ------------------------------------------------------------------
+    def _get_record(self, key: str, kind: str) -> Optional[dict]:
+        with self._lock:
+            record = self._memory.get((key, kind))
+            if record is not None:
+                self._memory.move_to_end((key, kind))
+                self.hits += 1
+                return record
+        record = self._load_disk(key, kind)
+        if record is not None:
+            self._store_memory(key, kind, record)
+            with self._lock:
+                self.hits += 1
+            return record
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def _put_record(self, key: str, kind: str, record: dict) -> None:
+        self._store_memory(key, kind, record)
+        self._store_disk(key, kind, record)
+
+    @staticmethod
+    def _record_nbytes(record: dict) -> int:
+        return sum(array.nbytes for array in record.values())
+
+    def _store_memory(self, key: str, kind: str, record: dict) -> None:
+        with self._lock:
+            previous = self._memory.pop((key, kind), None)
+            if previous is not None:
+                self._memory_bytes -= self._record_nbytes(previous)
+            self._memory[(key, kind)] = record
+            self._memory_bytes += self._record_nbytes(record)
+            while self._memory and (
+                len(self._memory) > self.max_entries
+                or self._memory_bytes > self.max_bytes
+            ):
+                _, evicted = self._memory.popitem(last=False)
+                self._memory_bytes -= self._record_nbytes(evicted)
+
+    def _disk_path(self, key: str, kind: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.{kind}.npz"
+
+    def _load_disk(self, key: str, kind: str) -> Optional[dict]:
+        path = self._disk_path(key, kind)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with np.load(path) as handle:
+                record = {name: handle[name] for name in handle.files}
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile, KeyError):
+            return None  # unreadable / truncated record: recount instead
+        if not _REQUIRED_KEYS[kind] <= record.keys():
+            return None  # foreign / incomplete record
+        return record
+
+    def _store_disk(self, key: str, kind: str, record: dict) -> None:
+        path = self._disk_path(key, kind)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so concurrent readers never see a partial file.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **record)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # typed API
+    # ------------------------------------------------------------------
+    def get_edge_orbits(self, key: str) -> Optional[EdgeOrbitCounts]:
+        """Cached edge-orbit counts for ``key``, or None."""
+        record = self._get_record(key, KIND_EDGE)
+        if record is None:
+            return None
+        edges = [(int(u), int(v)) for u, v in record["edges"].reshape(-1, 2)]
+        # Copy so callers mutating the result cannot corrupt the cache.
+        return EdgeOrbitCounts(edges=edges, counts=record["counts"].copy())
+
+    def put_edge_orbits(self, key: str, counts: EdgeOrbitCounts) -> None:
+        """Store edge-orbit counts under ``key``."""
+        record = {
+            "edges": np.asarray(counts.edges, dtype=np.int64).reshape(-1, 2),
+            "counts": np.asarray(counts.counts, dtype=np.int64).copy(),
+        }
+        self._put_record(key, KIND_EDGE, record)
+
+    def get_node_orbits(self, key: str) -> Optional[np.ndarray]:
+        """Cached node-orbit matrix for ``key``, or None."""
+        record = self._get_record(key, KIND_NODE)
+        if record is None:
+            return None
+        return record["gdv"].copy()
+
+    def put_node_orbits(self, key: str, gdv: np.ndarray) -> None:
+        """Store the node-orbit matrix under ``key``."""
+        self._put_record(key, KIND_NODE, {"gdv": np.asarray(gdv, dtype=np.int64).copy()})
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every in-memory record and reset the hit/miss counters."""
+        with self._lock:
+            self._memory.clear()
+            self._memory_bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (for logs and tests)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self._memory)}
+
+    def __repr__(self) -> str:
+        where = f"dir={self.directory}" if self.directory else "memory"
+        return f"OrbitCache({where}, entries={len(self._memory)})"
+
+
+#: Process-wide cache behind the ``"memory"`` spec.
+_SHARED_CACHE = OrbitCache()
+#: Disk caches are memoised per resolved directory so repeated config
+#: resolution shares one in-memory layer per location.
+_DISK_CACHES: Dict[str, OrbitCache] = {}
+_RESOLVE_LOCK = threading.Lock()
+
+
+def shared_cache() -> OrbitCache:
+    """The process-wide in-memory orbit cache."""
+    return _SHARED_CACHE
+
+
+def resolve_cache(spec: CacheSpec) -> Optional[OrbitCache]:
+    """Turn a cache *spec* (config/CLI value) into an OrbitCache or None."""
+    if spec is None or spec is False:
+        return None
+    if isinstance(spec, OrbitCache):
+        return spec
+    if spec is True:
+        return _SHARED_CACHE
+    if isinstance(spec, (str, os.PathLike)):
+        text = str(spec)
+        if text.lower() in ("off", "none", ""):
+            return None
+        if text.lower() == "memory":
+            return _SHARED_CACHE
+        resolved = str(Path(text).expanduser().resolve())
+        with _RESOLVE_LOCK:
+            if resolved not in _DISK_CACHES:
+                _DISK_CACHES[resolved] = OrbitCache(directory=resolved)
+            return _DISK_CACHES[resolved]
+    raise TypeError(
+        "orbit cache spec must be None, a bool, a string ('off', 'memory', or "
+        f"a directory path), or an OrbitCache; got {spec!r}"
+    )
+
+
+__all__ = [
+    "OrbitCache",
+    "graph_content_hash",
+    "resolve_cache",
+    "shared_cache",
+    "KIND_EDGE",
+    "KIND_NODE",
+]

@@ -1,0 +1,156 @@
+"""Pluggable orbit-counting engine: backend selection + caching.
+
+This is the single entry point the rest of the system uses for orbit
+counting.  Two backends are registered out of the box:
+
+* ``"python"`` — the original pure-Python counters
+  (:mod:`repro.orbits.edge_orbits`, :mod:`repro.orbits.node_orbits`), kept as
+  the exact reference oracle,
+* ``"numpy"`` — the vectorized bitset counters
+  (:mod:`repro.orbits.vectorized`), bit-identical and an order of magnitude
+  faster (see ``benchmarks/bench_orbit_counting.py``).
+
+``backend="auto"`` (the default) resolves to the fastest available backend.
+Passing a :class:`repro.orbits.cache.OrbitCache` (or a cache spec via
+``HTCConfig.orbit_cache``) memoises results by graph content hash, so
+repeated alignments of the same graph — robustness sweeps, hyper-parameter
+sweeps, repeated benchmark runs — skip the counting stage entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.orbits import edge_orbits as _edge_reference
+from repro.orbits import node_orbits as _node_reference
+from repro.orbits import vectorized as _vectorized
+from repro.orbits.cache import OrbitCache, graph_content_hash
+from repro.orbits.edge_orbits import EdgeOrbitCounts
+
+AUTO_BACKEND = "auto"
+
+#: The vectorized backend needs ``np.bitwise_count`` (NumPy >= 2.0); on older
+#: NumPy it is simply not registered and ``"auto"`` falls back to the
+#: reference implementation.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+_EDGE_BACKENDS: Dict[str, Callable[[AttributedGraph], EdgeOrbitCounts]] = {
+    "python": _edge_reference.count_edge_orbits,
+}
+_NODE_BACKENDS: Dict[str, Callable[[AttributedGraph], np.ndarray]] = {
+    "python": _node_reference.count_node_orbits,
+}
+if _HAS_BITWISE_COUNT:
+    _EDGE_BACKENDS["numpy"] = _vectorized.count_edge_orbits_numpy
+    _NODE_BACKENDS["numpy"] = _vectorized.count_node_orbits_numpy
+
+#: The spelled-out backend the ``"auto"`` alias resolves to.
+DEFAULT_BACKEND = "numpy" if _HAS_BITWISE_COUNT else "python"
+
+#: Backends proven bit-identical; only these share cache records.  Externally
+#: registered backends get backend-qualified cache keys so an approximate
+#: counter can never serve (or be served) another backend's results.
+_VERIFIED_BACKENDS = frozenset(("python", "numpy"))
+
+
+def _cache_key(graph: AttributedGraph, backend: str) -> str:
+    key = graph_content_hash(graph)
+    if backend not in _VERIFIED_BACKENDS:
+        key = f"{key}:{backend}"
+    return key
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names (without the ``"auto"`` alias)."""
+    return tuple(sorted(_EDGE_BACKENDS))
+
+
+def resolve_backend(backend: str) -> str:
+    """Normalise a backend name, resolving ``"auto"`` to the default."""
+    if backend == AUTO_BACKEND:
+        return DEFAULT_BACKEND
+    if backend not in _EDGE_BACKENDS:
+        raise ValueError(
+            f"unknown orbit backend {backend!r}; "
+            f"expected 'auto' or one of {available_backends()}"
+        )
+    return backend
+
+
+def register_backend(
+    name: str,
+    edge_counter: Callable[[AttributedGraph], EdgeOrbitCounts],
+    node_counter: Callable[[AttributedGraph], np.ndarray],
+) -> None:
+    """Register an additional orbit-counting backend (e.g. a C extension)."""
+    if name == AUTO_BACKEND:
+        raise ValueError("'auto' is a reserved backend name")
+    _EDGE_BACKENDS[name] = edge_counter
+    _NODE_BACKENDS[name] = node_counter
+
+
+def count_edge_orbits(
+    graph: AttributedGraph,
+    backend: str = AUTO_BACKEND,
+    cache: Optional[OrbitCache] = None,
+) -> EdgeOrbitCounts:
+    """Per-edge counts on all 13 edge orbits, via ``backend``, memoised.
+
+    Backends are bit-identical, so cached results are shared across them.
+    """
+    backend = resolve_backend(backend)
+    if cache is None:
+        return _EDGE_BACKENDS[backend](graph)
+    key = _cache_key(graph, backend)
+    cached = cache.get_edge_orbits(key)
+    if cached is not None:
+        return cached
+    counts = _EDGE_BACKENDS[backend](graph)
+    cache.put_edge_orbits(key, counts)
+    return counts
+
+
+def count_node_orbits(
+    graph: AttributedGraph,
+    backend: str = AUTO_BACKEND,
+    cache: Optional[OrbitCache] = None,
+) -> np.ndarray:
+    """The ``(n_nodes, 15)`` node-orbit (GDV) matrix, via ``backend``, memoised."""
+    backend = resolve_backend(backend)
+    if cache is None:
+        return _NODE_BACKENDS[backend](graph)
+    key = _cache_key(graph, backend)
+    cached = cache.get_node_orbits(key)
+    if cached is not None:
+        return cached
+    gdv = _NODE_BACKENDS[backend](graph)
+    cache.put_node_orbits(key, gdv)
+    return gdv
+
+
+def graphlet_degree_vectors(
+    graph: AttributedGraph,
+    backend: str = AUTO_BACKEND,
+    cache: Optional[OrbitCache] = None,
+    log_scale: bool = True,
+) -> np.ndarray:
+    """Node features from GDVs, optionally log-scaled (``log(1 + count)``)."""
+    gdv = count_node_orbits(graph, backend=backend, cache=cache).astype(np.float64)
+    if log_scale:
+        gdv = np.log1p(gdv)
+    return gdv
+
+
+__all__ = [
+    "AUTO_BACKEND",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "resolve_backend",
+    "register_backend",
+    "count_edge_orbits",
+    "count_node_orbits",
+    "graphlet_degree_vectors",
+]

@@ -15,7 +15,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.attributed_graph import AttributedGraph
-from repro.orbits.edge_orbits import EdgeOrbitCounts, count_edge_orbits
+from repro.orbits.edge_orbits import EdgeOrbitCounts
 from repro.orbits.graphlets import EDGE_ORBIT_COUNT
 
 
@@ -55,6 +55,9 @@ def build_orbit_matrices(
                     f"orbit ids must be in [0, {EDGE_ORBIT_COUNT}), got {orbit}"
                 )
     if counts is None:
+        # Imported lazily: the engine depends on this module's siblings.
+        from repro.orbits.engine import count_edge_orbits
+
         counts = count_edge_orbits(graph)
 
     n = graph.n_nodes

@@ -43,8 +43,8 @@ class TestGDVAugmentation:
         from repro.core.aligner import _augment_with_gdv
 
         config = HTCConfig(orbits=[0, 1], embedding_dim=8, random_state=0)
-        source_attrs = _augment_with_gdv(source)
-        target_attrs = _augment_with_gdv(target)
+        source_attrs = _augment_with_gdv(source, config)
+        target_attrs = _augment_with_gdv(target, config)
         np.testing.assert_allclose(source_attrs, target_attrs[mapping])
 
         encoder = make_encoder(source_attrs.shape[1], config)

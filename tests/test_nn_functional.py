@@ -17,7 +17,7 @@ from repro.nn.functional import (
 )
 from repro.nn.tensor import Tensor
 
-from .test_nn_tensor import numerical_gradient
+from _helpers import numerical_gradient
 
 
 class TestActivations:

@@ -8,22 +8,7 @@ from hypothesis.extra import numpy as hnp
 
 from repro.nn.tensor import Tensor
 
-
-def numerical_gradient(func, value, epsilon=1e-6):
-    """Central-difference gradient of a scalar-valued function of an array."""
-    value = np.asarray(value, dtype=np.float64)
-    gradient = np.zeros_like(value)
-    flat = value.ravel()
-    grad_flat = gradient.ravel()
-    for index in range(flat.size):
-        original = flat[index]
-        flat[index] = original + epsilon
-        plus = func(value)
-        flat[index] = original - epsilon
-        minus = func(value)
-        flat[index] = original
-        grad_flat[index] = (plus - minus) / (2 * epsilon)
-    return gradient
+from _helpers import numerical_gradient
 
 
 small_arrays = hnp.arrays(

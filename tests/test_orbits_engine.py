@@ -1,0 +1,187 @@
+"""Tests for the orbit-counting engine: backend equivalence and selection.
+
+The central property: the ``"numpy"`` backend must be *bit-identical* to the
+``"python"`` reference on every graph, including disconnected and
+triangle-free edge cases.  The cross-validation sweep covers 50+ random
+ER/BA-style graphs spanning sparse (disconnected), dense, and clustered
+regimes, plus deterministic structured graphs.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edge_list, from_networkx
+from repro.graph.generators import erdos_renyi_graph, powerlaw_cluster_graph
+from repro.orbits import engine
+from repro.orbits.brute_force import brute_force_edge_orbits, brute_force_node_orbits
+from repro.orbits.cache import OrbitCache
+from repro.orbits.edge_orbits import EdgeOrbitCounts
+from repro.orbits.graphlets import EDGE_ORBIT_COUNT, NODE_ORBIT_COUNT
+
+# The vectorized backend needs numpy >= 2.0 (np.bitwise_count); the whole
+# module is about cross-validating it against the reference.
+pytestmark = pytest.mark.skipif(
+    "numpy" not in engine.available_backends(),
+    reason="vectorized orbit backend unavailable (numpy < 2.0)",
+)
+
+
+def _assert_backends_identical(graph):
+    reference = engine.count_edge_orbits(graph, backend="python")
+    fast = engine.count_edge_orbits(graph, backend="numpy")
+    assert reference.edges == fast.edges
+    np.testing.assert_array_equal(reference.counts, fast.counts)
+    assert fast.counts.dtype == np.int64
+
+    reference_gdv = engine.count_node_orbits(graph, backend="python")
+    fast_gdv = engine.count_node_orbits(graph, backend="numpy")
+    np.testing.assert_array_equal(reference_gdv, fast_gdv)
+    assert fast_gdv.dtype == np.int64
+
+
+class TestCrossValidation:
+    """numpy backend == python backend, bit for bit."""
+
+    # 30 ER graphs sweeping density from sub-critical (many components,
+    # almost no triangles) to dense, plus 20 power-law cluster (BA-style)
+    # graphs with heavy triangle density: 50 random graphs total.
+    @pytest.mark.parametrize("seed", range(30))
+    def test_erdos_renyi(self, seed):
+        graph = erdos_renyi_graph(
+            20 + 2 * seed, 0.5 + 0.25 * seed, random_state=seed
+        )
+        _assert_backends_identical(graph)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_powerlaw_cluster(self, seed):
+        graph = powerlaw_cluster_graph(
+            15 + 2 * seed, 2 + seed % 3, 0.7, random_state=seed
+        )
+        _assert_backends_identical(graph)
+
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["triangle_graph", "path_graph", "star_graph", "clique_graph",
+         "paw_graph", "diamond_graph", "figure5_graph"],
+    )
+    def test_structured_fixtures(self, fixture_name, request):
+        _assert_backends_identical(request.getfixturevalue(fixture_name))
+
+    def test_triangle_free_bipartite(self):
+        graph = from_networkx(nx.complete_bipartite_graph(4, 5))
+        fast = engine.count_edge_orbits(graph, backend="numpy")
+        assert fast.orbit_total(2) == 0  # no triangle edges
+        _assert_backends_identical(graph)
+
+    def test_tree(self):
+        graph = from_networkx(nx.random_labeled_tree(24, seed=3))
+        _assert_backends_identical(graph)
+
+    def test_disconnected_components(self):
+        # Two separate triangles plus two isolated nodes.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        graph = from_edge_list(edges, n_nodes=8)
+        _assert_backends_identical(graph)
+        gdv = engine.count_node_orbits(graph, backend="numpy")
+        np.testing.assert_array_equal(gdv[6], np.zeros(NODE_ORBIT_COUNT))
+
+    def test_empty_graph(self):
+        graph = from_edge_list([], n_nodes=5)
+        fast = engine.count_edge_orbits(graph, backend="numpy")
+        assert fast.n_edges == 0
+        assert fast.counts.shape == (0, EDGE_ORBIT_COUNT)
+        _assert_backends_identical(graph)
+
+    def test_single_edge(self):
+        _assert_backends_identical(from_edge_list([(0, 1)], n_nodes=2))
+
+    def test_matches_brute_force(self):
+        graph = erdos_renyi_graph(14, 3.5, random_state=11)
+        fast = engine.count_edge_orbits(graph, backend="numpy")
+        brute = brute_force_edge_orbits(graph)
+        assert fast.edges == brute.edges
+        np.testing.assert_array_equal(fast.counts, brute.counts)
+        np.testing.assert_array_equal(
+            engine.count_node_orbits(graph, backend="numpy"),
+            brute_force_node_orbits(graph),
+        )
+
+
+class TestBackendSelection:
+    def test_auto_resolves_to_default(self):
+        assert engine.resolve_backend("auto") == engine.DEFAULT_BACKEND
+
+    def test_explicit_backends_resolve_to_themselves(self):
+        for name in engine.available_backends():
+            assert engine.resolve_backend(name) == name
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown orbit backend"):
+            engine.resolve_backend("fortran")
+        graph = from_edge_list([(0, 1)], n_nodes=2)
+        with pytest.raises(ValueError):
+            engine.count_edge_orbits(graph, backend="fortran")
+
+    def test_available_backends(self):
+        assert set(engine.available_backends()) >= {"python", "numpy"}
+
+    def test_register_backend(self):
+        def fake_edge(graph):
+            return EdgeOrbitCounts(
+                edges=graph.edge_list(),
+                counts=np.zeros((graph.n_edges, EDGE_ORBIT_COUNT), dtype=np.int64),
+            )
+
+        def fake_node(graph):
+            return np.zeros((graph.n_nodes, NODE_ORBIT_COUNT), dtype=np.int64)
+
+        engine.register_backend("fake", fake_edge, fake_node)
+        try:
+            graph = from_edge_list([(0, 1), (1, 2)], n_nodes=3)
+            counts = engine.count_edge_orbits(graph, backend="fake")
+            assert counts.counts.sum() == 0
+            assert "fake" in engine.available_backends()
+            # Unverified backends never share cache records with verified
+            # ones: the fake backend's zeros must not be served from (or
+            # leak into) the python backend's entry.
+            cache = OrbitCache()
+            reference = engine.count_edge_orbits(graph, backend="python", cache=cache)
+            assert reference.counts.sum() > 0
+            assert engine.count_edge_orbits(graph, backend="fake", cache=cache).counts.sum() == 0
+            assert engine.count_edge_orbits(graph, backend="python", cache=cache).counts.sum() > 0
+        finally:
+            del engine._EDGE_BACKENDS["fake"]
+            del engine._NODE_BACKENDS["fake"]
+
+    def test_register_auto_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            engine.register_backend("auto", None, None)
+
+    def test_package_level_exports(self):
+        from repro.orbits import count_edge_orbits, count_node_orbits
+
+        graph = from_edge_list([(0, 1), (1, 2), (0, 2)], n_nodes=3)
+        counts = count_edge_orbits(graph, backend="numpy")
+        assert counts.orbit_total(2) == 3
+        gdv = count_node_orbits(graph, backend="numpy")
+        np.testing.assert_array_equal(gdv[:, 3], [1, 1, 1])
+
+
+class TestGraphletDegreeVectors:
+    def test_log_scale_matches_reference(self):
+        graph = erdos_renyi_graph(25, 4.0, random_state=2)
+        from repro.orbits.node_orbits import graphlet_degree_vectors as reference
+
+        np.testing.assert_allclose(
+            engine.graphlet_degree_vectors(graph, backend="numpy"),
+            reference(graph, log_scale=True),
+        )
+
+    def test_uses_cache(self):
+        graph = erdos_renyi_graph(20, 3.0, random_state=4)
+        cache = OrbitCache()
+        first = engine.graphlet_degree_vectors(graph, cache=cache)
+        second = engine.graphlet_degree_vectors(graph, cache=cache)
+        np.testing.assert_allclose(first, second)
+        assert cache.stats()["hits"] == 1
