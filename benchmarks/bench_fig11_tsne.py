@@ -20,7 +20,7 @@ from repro.eval.reporting import format_table
 from repro.viz.embedding_stats import anchor_overlap_statistics
 from repro.viz.tsne import tsne
 
-from _common import DATASET_SCALE, HTC_CONFIG, make_htc, write_report
+from _common import DATASET_SCALE, HTC_CONFIG, write_report
 
 N_SAMPLED_ANCHORS = 80
 ORBITS_TO_VISUALISE = (0, 1, 3, 5, 7)

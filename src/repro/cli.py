@@ -1,6 +1,6 @@
 """Command-line interface for the HTC reproduction.
 
-Four sub-commands cover the typical workflows without writing Python:
+Five sub-commands cover the typical workflows without writing Python:
 
 ``datasets``
     List the bundled dataset stand-ins and their statistics.
@@ -11,6 +11,9 @@ Four sub-commands cover the typical workflows without writing Python:
     Run HTC plus the baselines on one or more datasets (the Table II layout).
 ``robustness``
     Sweep edge-removal noise on a robustness dataset (the Fig. 9 layout).
+``run-suite``
+    Execute a declarative suite (datasets × methods × config grid) on a
+    process pool, with per-job JSON artifacts, a manifest and resumability.
 
 Examples
 --------
@@ -21,6 +24,9 @@ Examples
     python -m repro.cli align --dataset allmovie_imdb --method GAlign
     python -m repro.cli compare --datasets douban allmovie_imdb --scale 0.3
     python -m repro.cli robustness --dataset econ --methods HTC GAlign IsoRank
+    python -m repro.cli run-suite --datasets tiny econ bn --methods HTC \
+        IsoRank Degree --jobs 4 --output runs
+    python -m repro.cli run-suite --suite suite.json --jobs 4 --resume
 """
 
 from __future__ import annotations
@@ -31,22 +37,14 @@ from typing import List, Optional, Sequence
 
 from repro.baselines import PAPER_BASELINES, make_baseline
 from repro.core import HTCAligner, HTCConfig
-from repro.core.variants import ABLATION_VARIANTS, EXTRA_ABLATION_VARIANTS, make_variant
 from repro.datasets import available_datasets, load_dataset
 from repro.datasets.synthetic import bn, econ
 from repro.eval.protocol import run_comparison, run_method
 from repro.eval.reporting import format_importance_ranking, format_series, format_table
 from repro.eval.robustness import run_robustness
 from repro.orbits.engine import available_backends as available_orbit_backends
-
-_HTC_NAMES = ("HTC",) + tuple(ABLATION_VARIANTS) + tuple(EXTRA_ABLATION_VARIANTS)
-
-
-def _make_method(name: str, config: HTCConfig):
-    """Instantiate a method by name: HTC variant or baseline."""
-    if name in _HTC_NAMES:
-        return make_variant(name, config) if name != "HTC" else HTCAligner(config)
-    return make_baseline(name)
+from repro.runner import SuiteSpec, resolve_method, run_suite
+from repro.runner.executor import known_method_names
 
 
 def _config_from_args(args: argparse.Namespace) -> HTCConfig:
@@ -59,6 +57,7 @@ def _config_from_args(args: argparse.Namespace) -> HTCConfig:
         reinforcement_rate=args.beta,
         orbit_backend=args.orbit_backend,
         orbit_cache=args.orbit_cache,
+        score_chunk_size=args.chunk_size,
         random_state=args.seed,
     )
 
@@ -84,6 +83,14 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="SPEC",
         help='orbit-count cache: "memory" (default), "off", or a directory path',
     )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="stream similarity scoring in row chunks of this size "
+        "(bounded memory, bit-identical results; default: dense)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--runs", type=int, default=1, help="repetitions to average over")
 
@@ -104,7 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument(
         "--method",
         default="HTC",
-        help=f"one of {_HTC_NAMES + tuple(PAPER_BASELINES)}",
+        help=f"one of {known_method_names()}",
     )
     _add_model_arguments(align)
 
@@ -128,6 +135,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_model_arguments(robustness)
 
+    suite = subparsers.add_parser(
+        "run-suite",
+        help="execute a dataset × method × config sweep on a process pool",
+    )
+    suite.add_argument(
+        "--suite",
+        default=None,
+        metavar="JSON",
+        help="suite spec file; overrides the inline --datasets/--methods flags",
+    )
+    suite.add_argument("--name", default="suite", help="suite name (inline specs)")
+    suite.add_argument(
+        "--datasets", nargs="+", default=["tiny"], choices=available_datasets()
+    )
+    suite.add_argument(
+        "--methods",
+        nargs="+",
+        default=["HTC", "IsoRank", "Degree"],
+        help=f"any of {known_method_names()}",
+    )
+    suite.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = inline, 0 = CPU count)",
+    )
+    suite.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs whose artifact already matches the spec hash",
+    )
+    suite.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock limit",
+    )
+    suite.add_argument(
+        "--output", default="runs", metavar="DIR", help="artifact root directory"
+    )
+    _add_model_arguments(suite)
+
     return parser
 
 
@@ -147,7 +197,7 @@ def _cmd_align(args: argparse.Namespace) -> int:
         if args.dataset != "tiny"
         else load_dataset("tiny", random_state=args.seed)
     )
-    method = _make_method(args.method, config)
+    method = resolve_method(args.method, config)
     result = run_method(method, pair, n_runs=args.runs, random_state=args.seed)
     print(format_table([result.as_row()], title=f"{args.method} on {pair.name}"))
     if isinstance(method, HTCAligner) and method.last_result_ is not None:
@@ -174,7 +224,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_robustness(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     factory = econ if args.dataset == "econ" else bn
-    methods = [_make_method(name, config) for name in args.methods]
+    methods = [resolve_method(name, config) for name in args.methods]
     points = run_robustness(
         methods,
         factory,
@@ -198,6 +248,62 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suite_from_args(args: argparse.Namespace) -> SuiteSpec:
+    """Build the suite spec from a JSON file or the inline flags."""
+    if args.suite:
+        return SuiteSpec.from_json_file(args.suite)
+    datasets: List[object] = []
+    for name in args.datasets:
+        # Mirror the align subcommand's loading convention: the seed also
+        # controls dataset generation; tiny ignores --scale.
+        params: dict = {"random_state": args.seed}
+        if name != "tiny":
+            params["scale"] = args.scale
+        datasets.append({"name": name, "params": params})
+    config = {
+        "embedding_dim": args.dim,
+        "epochs": args.epochs,
+        "n_neighbors": args.neighbors,
+        "reinforcement_rate": args.beta,
+        "orbit_backend": args.orbit_backend,
+        "orbit_cache": args.orbit_cache,
+    }
+    if args.orbits is not None:
+        config["orbits"] = tuple(range(args.orbits))
+    if args.chunk_size is not None:
+        config["score_chunk_size"] = args.chunk_size
+    return SuiteSpec(
+        name=args.name,
+        datasets=datasets,
+        methods=list(args.methods),
+        config=config,
+        n_runs=args.runs,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+
+
+def _cmd_run_suite(args: argparse.Namespace) -> int:
+    suite = _suite_from_args(args)
+    report = run_suite(
+        suite,
+        args.output,
+        jobs=args.jobs,
+        resume=args.resume,
+        timeout=args.timeout,
+    )
+    print(report.table())
+    counts = report.counts
+    summary = ", ".join(f"{status}: {count}" for status, count in sorted(counts.items()))
+    print(
+        f"\n{len(report.artifacts)} jobs ({summary}) in "
+        f"{report.wall_clock_seconds:.2f}s with {report.workers} worker(s)"
+    )
+    print(f"[manifest written to {report.manifest_path}]")
+    failed = counts.get("failed", 0) + counts.get("timeout", 0)
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -209,6 +315,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "robustness":
         return _cmd_robustness(args)
+    if args.command == "run-suite":
+        return _cmd_run_suite(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

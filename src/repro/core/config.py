@@ -70,6 +70,13 @@ class HTCConfig:
         in-memory cache keyed by graph content hash), ``"off"``, a directory
         path for an on-disk cache, a bool, or an
         :class:`repro.orbits.OrbitCache` instance.
+    score_chunk_size:
+        Row-chunk size for the similarity/LISI scoring stages.  ``None``
+        (default) keeps the fully dense behaviour; an integer streams the
+        score matrices in chunks of (about) that many rows, bounding the
+        temporary memory per orbit view (see
+        :mod:`repro.similarity.chunked`).  Results are bit-identical either
+        way.
     diffusion_orders, diffusion_alpha:
         Settings of the diffusion family used when ``topology_mode ==
         "diffusion"``.
@@ -95,6 +102,7 @@ class HTCConfig:
     augment_with_gdv: bool = False
     orbit_backend: str = AUTO_BACKEND
     orbit_cache: Union[bool, str, object] = "memory"
+    score_chunk_size: Optional[int] = None
     diffusion_orders: Tuple[int, ...] = (1, 2, 3, 4, 5)
     diffusion_alpha: float = 0.15
     random_state: RandomStateLike = 0
@@ -133,6 +141,10 @@ class HTCConfig:
             raise ValueError(
                 "max_refinement_iterations must be >= 1, "
                 f"got {self.max_refinement_iterations}"
+            )
+        if self.score_chunk_size is not None and self.score_chunk_size < 1:
+            raise ValueError(
+                f"score_chunk_size must be >= 1 or None, got {self.score_chunk_size}"
             )
         valid_backends = (AUTO_BACKEND,) + available_backends()
         if self.orbit_backend not in valid_backends:

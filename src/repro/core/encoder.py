@@ -16,7 +16,7 @@ every view and returns per-view embeddings (Eq. 4-5).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 import scipy.sparse as sp

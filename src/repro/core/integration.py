@@ -10,7 +10,7 @@ different orbit-importance profiles of dense and sparse networks (Fig. 6).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -33,8 +33,14 @@ def orbit_importance(trusted_pair_counts: Dict[int, int]) -> Dict[int, float]:
 def integrate_alignment_matrices(
     orbit_matrices: Dict[int, np.ndarray],
     trusted_pair_counts: Dict[int, int],
+    chunk_rows: Optional[int] = None,
 ) -> Tuple[np.ndarray, Dict[int, float]]:
     """Combine per-orbit alignment matrices into the final matrix ``M``.
+
+    ``chunk_rows`` bounds the broadcast temporaries of the weighted
+    accumulation to one row chunk at a time (``γ_k · M_k`` otherwise
+    materialises a full extra matrix per orbit); the sum is elementwise, so
+    the result is bit-identical for every chunking.
 
     Returns
     -------
@@ -54,9 +60,16 @@ def integrate_alignment_matrices(
         raise ValueError(f"alignment matrices have inconsistent shapes: {shapes}")
 
     importance = orbit_importance(trusted_pair_counts)
-    final = np.zeros(next(iter(shapes)), dtype=np.float64)
+    shape = next(iter(shapes))
+    final = np.zeros(shape, dtype=np.float64)
+    n_rows = shape[0] if len(shape) == 2 else len(final)
+    step = max(1, n_rows) if chunk_rows is None else max(1, int(chunk_rows))
     for orbit, matrix in orbit_matrices.items():
-        final += importance[orbit] * np.asarray(matrix, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        for start in range(0, n_rows, step):
+            final[start : start + step] += (
+                importance[orbit] * matrix[start : start + step]
+            )
     return final, importance
 
 

@@ -15,7 +15,7 @@ pair count, which later drives the posterior importance assignment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 import scipy.sparse as sp
@@ -51,13 +51,19 @@ class TrustedPairRefiner:
     def _score_matrix(
         self, source_embedding: np.ndarray, target_embedding: np.ndarray
     ) -> np.ndarray:
+        # ``score_chunk_size`` streams the scoring in row chunks, bounding
+        # the temporary memory per view; results are bit-identical.
+        chunk_rows = self.config.score_chunk_size
         if self.config.use_lisi:
             return lisi_matrix(
                 source_embedding,
                 target_embedding,
                 n_neighbors=self.config.n_neighbors,
+                chunk_rows=chunk_rows,
             )
-        return pearson_similarity(source_embedding, target_embedding)
+        return pearson_similarity(
+            source_embedding, target_embedding, chunk_rows=chunk_rows
+        )
 
     def refine_view(
         self,

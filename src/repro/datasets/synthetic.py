@@ -27,7 +27,6 @@ benchmark harness runs on CPU in minutes.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -36,6 +36,33 @@ class MethodResult:
         row["time_s"] = round(self.time_seconds, 2)
         return row
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form, round-tripped by the suite runner's
+        on-disk artifacts (:mod:`repro.runner`)."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "metrics": dict(self.metrics),
+            "time_seconds": self.time_seconds,
+            "n_runs": self.n_runs,
+            "stage_times": dict(self.stage_times),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MethodResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            method=str(payload["method"]),
+            dataset=str(payload["dataset"]),
+            metrics={k: float(v) for k, v in dict(payload["metrics"]).items()},
+            time_seconds=float(payload["time_seconds"]),
+            n_runs=int(payload.get("n_runs", 1)),
+            stage_times={
+                k: float(v)
+                for k, v in dict(payload.get("stage_times", {})).items()
+            },
+        )
+
 
 def _extract_matrix(result) -> np.ndarray:
     """Accept either a raw matrix or an HTC :class:`AlignmentResult`."""

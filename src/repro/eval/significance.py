@@ -9,7 +9,7 @@ another on the same set of anchors is statistically meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -16,7 +16,6 @@ import scipy.sparse as sp
 
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.laplacian import normalized_laplacian
-from repro.utils.sparse import to_csr
 
 
 def _sparsify(matrix: np.ndarray, threshold: float) -> sp.csr_matrix:

@@ -1,0 +1,33 @@
+"""Declarative multi-pair experiment suites and their parallel executor.
+
+The runner turns the one-shot ``HTCAligner.align`` reproduction into a batch
+service: a :class:`~repro.runner.spec.SuiteSpec` declares a grid of dataset
+pairs × methods × config overrides, :func:`~repro.runner.executor.run_suite`
+executes the expanded jobs on a process pool with per-job timeouts, writes
+one JSON artifact per job plus a suite manifest, skips jobs whose artifact
+already matches the spec hash (``--resume``), and
+:mod:`repro.runner.aggregate` folds the artifacts back into the
+:mod:`repro.eval.reporting` tables.
+"""
+
+from repro.runner.aggregate import (
+    format_suite_table,
+    load_artifacts,
+    load_manifest,
+    to_method_results,
+)
+from repro.runner.executor import SuiteRunReport, resolve_method, run_suite
+from repro.runner.spec import JobSpec, SuiteSpec, spec_hash
+
+__all__ = [
+    "JobSpec",
+    "SuiteSpec",
+    "spec_hash",
+    "run_suite",
+    "resolve_method",
+    "SuiteRunReport",
+    "load_artifacts",
+    "load_manifest",
+    "format_suite_table",
+    "to_method_results",
+]

@@ -1,0 +1,95 @@
+"""Fold suite artifacts back into the :mod:`repro.eval.reporting` tables."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.eval.protocol import MethodResult
+from repro.eval.reporting import format_table, save_rows
+
+
+def load_manifest(suite_dir) -> Dict[str, object]:
+    """Read a suite's ``manifest.json``."""
+    path = Path(suite_dir) / "manifest.json"
+    return json.loads(path.read_text())
+
+
+def load_artifacts(suite_dir) -> List[Dict[str, object]]:
+    """Load every job artifact of a suite, in manifest order.
+
+    Falls back to directory order (sorted by job id) when the manifest is
+    missing — e.g. for a sweep that was interrupted before completion.
+    """
+    suite_dir = Path(suite_dir)
+    jobs_dir = suite_dir / "jobs"
+    ordered_paths: List[Path] = []
+    manifest_path = suite_dir / "manifest.json"
+    if manifest_path.is_file():
+        manifest = json.loads(manifest_path.read_text())
+        ordered_paths = [
+            suite_dir / str(entry["artifact"]) for entry in manifest.get("jobs", [])
+        ]
+    else:
+        ordered_paths = sorted(jobs_dir.glob("*.json"))
+    artifacts = []
+    for path in ordered_paths:
+        if path.is_file():
+            artifacts.append(json.loads(path.read_text()))
+    return artifacts
+
+
+def artifact_rows(artifacts: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Flatten artifacts into table rows (one per job).
+
+    Successful jobs contribute their metrics; failed/timed-out jobs keep
+    their status visible so a sweep's holes are explicit in the report.
+    """
+    rows: List[Dict[str, object]] = []
+    for artifact in artifacts:
+        spec = dict(artifact.get("spec", {}))
+        result = artifact.get("result")
+        if result:
+            row = MethodResult.from_dict(result).as_row()
+        else:
+            row = {
+                "method": spec.get("method", "?"),
+                "dataset": spec.get("dataset", "?"),
+            }
+        config = dict(spec.get("config", {}))
+        if config:
+            row["config"] = ",".join(f"{k}={v}" for k, v in sorted(config.items()))
+        row["status"] = artifact.get("status", "?")
+        rows.append(row)
+    return rows
+
+
+def format_suite_table(artifacts: List[Dict[str, object]], title: str = "") -> str:
+    """Render artifacts as the familiar plain-text comparison table."""
+    return format_table(artifact_rows(artifacts), title=title)
+
+
+def to_method_results(artifacts: List[Dict[str, object]]) -> List[MethodResult]:
+    """Successful artifacts as :class:`~repro.eval.protocol.MethodResult`."""
+    results = []
+    for artifact in artifacts:
+        payload = artifact.get("result")
+        if payload:
+            results.append(MethodResult.from_dict(payload))
+    return results
+
+
+def export_rows(artifacts: List[Dict[str, object]], path) -> None:
+    """Write the flattened rows to CSV/JSON-lines via ``eval.reporting``."""
+    save_rows(artifact_rows(artifacts), path)
+
+
+__all__ = [
+    "load_manifest",
+    "load_artifacts",
+    "artifact_rows",
+    "format_suite_table",
+    "to_method_results",
+    "export_rows",
+]

@@ -1,0 +1,344 @@
+"""Process-pool execution of experiment suites.
+
+``run_suite`` expands a :class:`~repro.runner.spec.SuiteSpec` into jobs and
+executes them either inline (``jobs=1``) or on a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Every job produces one JSON
+artifact under ``<output_dir>/<suite>/jobs/``; the suite manifest
+(``manifest.json``) records the job statuses and wall clock.  With
+``resume=True``, jobs whose artifact already exists, carries the current spec
+hash and finished successfully are skipped — so an interrupted sweep restarts
+from where it stopped, and editing any job knob re-runs exactly the affected
+jobs.
+
+Per-job timeouts are enforced *inside* the worker with ``SIGALRM`` (Unix), so
+a job stuck in Python code turns into a ``timeout`` artifact instead of
+wedging the pool.  Caveat: the alarm is delivered between bytecodes, so a job
+blocked inside one long native call (a huge BLAS GEMM, a scipy solver) is
+only interrupted when that call returns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.runner.spec import JobSpec, SuiteSpec
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Artifact status values.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_CACHED = "cached"
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its wall-clock budget."""
+
+
+def _htc_variant_names() -> tuple:
+    from repro.core.variants import ABLATION_VARIANTS, EXTRA_ABLATION_VARIANTS
+
+    return ("HTC",) + tuple(ABLATION_VARIANTS) + tuple(EXTRA_ABLATION_VARIANTS)
+
+
+def known_method_names() -> tuple:
+    """Every method name :func:`resolve_method` accepts (for help/docs)."""
+    from repro.baselines import PAPER_BASELINES
+
+    return _htc_variant_names() + tuple(PAPER_BASELINES) + ("Degree", "Attribute")
+
+
+def resolve_method(name: str, config) -> object:
+    """Instantiate a method by name: HTC, an ablation variant, or a baseline.
+
+    The single source of the method vocabulary, shared by the CLI and the
+    suite runner.
+    """
+    from repro.baselines import make_baseline
+    from repro.core import HTCAligner
+    from repro.core.variants import make_variant
+
+    if name == "HTC":
+        return HTCAligner(config)
+    if name in _htc_variant_names():
+        return make_variant(name, config)
+    return make_baseline(name)
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - trivial
+    raise JobTimeout()
+
+
+def execute_job(
+    job_payload: Dict[str, object],
+    timeout: Optional[float] = None,
+    method_resolver: Optional[Callable[[str, object], object]] = None,
+) -> Dict[str, object]:
+    """Run one job to completion and return its artifact payload.
+
+    Runs in a worker process (but is equally callable inline).  Never raises:
+    failures and timeouts are captured into the artifact's ``status`` /
+    ``error`` fields so one bad cell cannot take down a sweep.
+    """
+    from repro.core import HTCConfig
+    from repro.datasets import load_dataset
+    from repro.eval.protocol import run_method
+
+    job = JobSpec.from_dict(job_payload)
+    artifact: Dict[str, object] = {
+        "job_id": job.job_id,
+        "spec": job.to_dict(),
+        "spec_hash": job.hash,
+        "status": STATUS_FAILED,
+        "result": None,
+        "error": None,
+    }
+    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    previous_handler = None
+    if use_alarm:
+        previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    started = time.perf_counter()
+    try:
+        config_overrides = dict(job.config)
+        config_overrides.setdefault("random_state", job.seed)
+        config = HTCConfig(**config_overrides)
+        resolver = method_resolver if method_resolver is not None else resolve_method
+        method = resolver(job.method, config)
+        pair = load_dataset(job.dataset, **dict(job.dataset_params))
+        result = run_method(
+            method,
+            pair,
+            train_ratio=job.train_ratio,
+            n_runs=job.n_runs,
+            random_state=job.seed,
+        )
+        artifact["status"] = STATUS_DONE
+        artifact["result"] = result.to_dict()
+    except JobTimeout:
+        artifact["status"] = STATUS_TIMEOUT
+        artifact["error"] = f"job exceeded the {timeout}s wall-clock budget"
+    except Exception as error:  # noqa: BLE001 - artifact carries the failure
+        artifact["status"] = STATUS_FAILED
+        artifact["error"] = (
+            f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+        )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+    artifact["wall_seconds"] = time.perf_counter() - started
+    return artifact
+
+
+def _write_json(path: Path, payload: Dict[str, object]) -> None:
+    """Atomic JSON write (tmp file + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    # Insertion order is kept (no key sorting) so round-tripped metric
+    # columns render in the same order as a fresh run.
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def _load_cached_artifact(path: Path, job: JobSpec) -> Optional[Dict[str, object]]:
+    """The existing artifact for ``job`` if it is valid and complete."""
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("spec_hash") != job.hash:
+        return None
+    if payload.get("status") != STATUS_DONE:
+        return None
+    return payload
+
+
+@dataclass
+class SuiteRunReport:
+    """Outcome of one :func:`run_suite` invocation."""
+
+    suite: SuiteSpec
+    suite_dir: Path
+    manifest_path: Path
+    artifacts: List[Dict[str, object]] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+    jobs_requested: int = 0
+    workers: int = 1
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Job tally per status (``cached`` = skipped by ``resume``)."""
+        tally: Dict[str, int] = {}
+        for artifact in self.artifacts:
+            status = str(artifact.get("status"))
+            tally[status] = tally.get(status, 0) + 1
+        return tally
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flatten the artifacts into report rows (see ``aggregate``)."""
+        from repro.runner.aggregate import artifact_rows
+
+        return artifact_rows(self.artifacts)
+
+    def table(self, title: str = "") -> str:
+        """Render the suite results with :func:`repro.eval.reporting.format_table`."""
+        from repro.eval.reporting import format_table
+
+        return format_table(self.rows(), title=title or f"suite {self.suite.name}")
+
+
+def run_suite(
+    suite: SuiteSpec,
+    output_dir,
+    jobs: int = 1,
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    method_resolver: Optional[Callable[[str, object], object]] = None,
+    on_job_done: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> SuiteRunReport:
+    """Execute every job of ``suite`` and return the run report.
+
+    Parameters
+    ----------
+    suite:
+        The declarative suite specification.
+    output_dir:
+        Root artifact directory; this run writes under
+        ``<output_dir>/<suite.name>/``.
+    jobs:
+        Worker processes.  ``1`` runs inline (no pool); ``<= 0`` uses the CPU
+        count.
+    resume:
+        Skip jobs whose artifact exists, matches the current spec hash, and
+        completed successfully.
+    timeout:
+        Per-job wall-clock limit in seconds; overrides ``suite.timeout``
+        when given.
+    method_resolver:
+        Optional replacement for :func:`resolve_method` (must be a picklable
+        module-level callable when ``jobs > 1``).
+    on_job_done:
+        Optional callback invoked with each artifact as it completes.
+    """
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    timeout = timeout if timeout is not None else suite.timeout
+    suite_dir = Path(output_dir) / suite.name
+    jobs_dir = suite_dir / "jobs"
+    job_specs = suite.jobs()
+
+    started = time.perf_counter()
+    artifacts: List[Dict[str, object]] = []
+    pending: List[JobSpec] = []
+    for job in job_specs:
+        artifact_path = jobs_dir / f"{job.job_id}.json"
+        cached = _load_cached_artifact(artifact_path, job) if resume else None
+        if cached is not None:
+            cached = dict(cached)
+            cached["status"] = STATUS_CACHED
+            artifacts.append(cached)
+            if on_job_done is not None:
+                on_job_done(cached)
+        else:
+            pending.append(job)
+
+    def _record(artifact: Dict[str, object]) -> None:
+        artifact_path = jobs_dir / f"{artifact['job_id']}.json"
+        _write_json(artifact_path, artifact)
+        artifacts.append(artifact)
+        if on_job_done is not None:
+            on_job_done(artifact)
+        logger.info(
+            "job %s finished: %s (%.2fs)",
+            artifact["job_id"],
+            artifact["status"],
+            artifact.get("wall_seconds", 0.0),
+        )
+
+    if jobs == 1 or len(pending) <= 1:
+        for job in pending:
+            _record(execute_job(job.to_dict(), timeout, method_resolver))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(execute_job, job.to_dict(), timeout, method_resolver): job
+                for job in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    job = futures[future]
+                    try:
+                        artifact = future.result()
+                    except Exception as error:  # pool/pickling failure
+                        artifact = {
+                            "job_id": job.job_id,
+                            "spec": job.to_dict(),
+                            "spec_hash": job.hash,
+                            "status": STATUS_FAILED,
+                            "result": None,
+                            "error": f"worker crashed: {error}",
+                            "wall_seconds": 0.0,
+                        }
+                    _record(artifact)
+
+    wall_clock = time.perf_counter() - started
+    # Keep manifest rows in the suite's deterministic job order.
+    by_id = {str(a["job_id"]): a for a in artifacts}
+    ordered = [by_id[job.job_id] for job in job_specs if job.job_id in by_id]
+    manifest = {
+        "suite": suite.to_dict(),
+        "workers": jobs,
+        "resume": resume,
+        "timeout": timeout,
+        "wall_clock_seconds": wall_clock,
+        "created_unix": time.time(),
+        "jobs": [
+            {
+                "job_id": a["job_id"],
+                "status": a["status"],
+                "spec_hash": a["spec_hash"],
+                "artifact": f"jobs/{a['job_id']}.json",
+                "wall_seconds": a.get("wall_seconds", 0.0),
+            }
+            for a in ordered
+        ],
+    }
+    manifest_path = suite_dir / "manifest.json"
+    _write_json(manifest_path, manifest)
+    return SuiteRunReport(
+        suite=suite,
+        suite_dir=suite_dir,
+        manifest_path=manifest_path,
+        artifacts=ordered,
+        wall_clock_seconds=wall_clock,
+        jobs_requested=len(job_specs),
+        workers=jobs,
+    )
+
+
+__all__ = [
+    "run_suite",
+    "execute_job",
+    "resolve_method",
+    "SuiteRunReport",
+    "JobTimeout",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "STATUS_CACHED",
+]

@@ -20,7 +20,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.similarity.lisi import hubness_degrees
+from repro.similarity.lisi import _hubness_corrected_matrix
 from repro.similarity.measures import cosine_similarity
 
 
@@ -29,6 +29,9 @@ def csls_matrix(
     target_embeddings: np.ndarray,
     n_neighbors: int = 10,
     similarity: Optional[np.ndarray] = None,
+    *,
+    chunk_rows: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """CSLS-adjusted cosine-similarity matrix between two embedding sets.
 
@@ -39,12 +42,27 @@ def csls_matrix(
     n_neighbors:
         Neighbourhood size ``k`` of the local scaling.
     similarity:
-        Optional pre-computed cosine-similarity matrix.
+        Optional pre-computed cosine-similarity matrix (skips recomputation
+        and makes ``chunk_rows`` a no-op).
+    chunk_rows:
+        If set, assemble the matrix in bounded row chunks (bit-identical to
+        the dense path); see :mod:`repro.similarity.chunked`.
+    out:
+        Optional pre-allocated ``(n_s, n_t)`` float64 output buffer; the
+        result is written into it (a provided ``similarity`` is never
+        mutated unless it *is* ``out``).
     """
-    if similarity is None:
-        similarity = cosine_similarity(source_embeddings, target_embeddings)
-    source_hubness, target_hubness = hubness_degrees(similarity, n_neighbors)
-    return 2.0 * similarity - source_hubness[:, None] - target_hubness[None, :]
+    return _hubness_corrected_matrix(
+        source_embeddings,
+        target_embeddings,
+        n_neighbors,
+        similarity,
+        chunk_rows,
+        out,
+        measure="cosine",
+        correction="csls",
+        similarity_fn=cosine_similarity,
+    )
 
 
 __all__ = ["csls_matrix"]

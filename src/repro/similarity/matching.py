@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Tuple
 
 import numpy as np
@@ -27,32 +28,80 @@ def mutual_nearest_neighbors(score_matrix: np.ndarray) -> List[Tuple[int, int]]:
     return pairs
 
 
+def _best_unused(row: np.ndarray, used_target: np.ndarray) -> Tuple[float, int]:
+    """Best (score, column) of ``row`` restricted to unused columns.
+
+    Ties resolve to the lowest column index.  Requires at least one unused
+    column.
+    """
+    unused = np.flatnonzero(~used_target)
+    local = int(np.argmax(row[unused]))
+    j = int(unused[local])
+    return float(row[j]), j
+
+
+def _greedy_core(
+    heap: List[Tuple[float, int, int]],
+    fetch_row,
+    n_source: int,
+    n_target: int,
+) -> List[Tuple[int, int]]:
+    """Shared heap loop of the dense and chunked greedy matchers.
+
+    ``heap`` holds ``(-score, row, col)`` candidates (one per row);
+    ``fetch_row(i)`` returns row ``i`` of the score matrix and is only called
+    when a row's candidate column has been taken by an earlier match.
+    """
+    heapq.heapify(heap)
+    used_source = np.zeros(n_source, dtype=bool)
+    used_target = np.zeros(n_target, dtype=bool)
+    pairs: List[Tuple[int, int]] = []
+    limit = min(n_source, n_target)
+    while heap and len(pairs) < limit:
+        _, i, j = heapq.heappop(heap)
+        if used_source[i]:
+            continue
+        if used_target[j]:
+            # Stale candidate: re-evaluate this row over unused columns.
+            if used_target.all():
+                break
+            score, j = _best_unused(fetch_row(i), used_target)
+            heapq.heappush(heap, (-score, i, j))
+            continue
+        pairs.append((i, j))
+        used_source[i] = True
+        used_target[j] = True
+    return pairs
+
+
 def greedy_match(score_matrix: np.ndarray) -> List[Tuple[int, int]]:
     """Greedy one-to-one matching by descending score.
 
     Repeatedly picks the highest remaining score whose row and column are both
-    unused.  Useful for producing a hard alignment from the final score
-    matrix.
+    unused (ties broken by lowest row, then lowest column).  Useful for
+    producing a hard alignment from the final score matrix.
+
+    The selection is heap-based with lazy per-row re-evaluation: each row
+    contributes its best currently-unused column to a max-heap, and a row
+    whose candidate column got taken is re-scanned on pop.  This replaces the
+    former full ``argsort(scores, axis=None)`` — ``O(n_s·n_t·log(n_s·n_t))``
+    time plus an ``(n_s·n_t)`` index array — with ``O(n_s + n_t)`` extra
+    memory, which is what lets the chunked scorer run the same algorithm
+    without ever materialising the matrix
+    (:func:`repro.similarity.chunked.chunked_greedy_match`).
     """
     scores = np.asarray(score_matrix, dtype=np.float64)
     if scores.ndim != 2 or scores.size == 0:
         return []
     n_source, n_target = scores.shape
-    order = np.argsort(scores, axis=None)[::-1]
-    used_source = np.zeros(n_source, dtype=bool)
-    used_target = np.zeros(n_target, dtype=bool)
-    pairs: List[Tuple[int, int]] = []
-    limit = min(n_source, n_target)
-    for flat_index in order:
-        i, j = divmod(int(flat_index), n_target)
-        if used_source[i] or used_target[j]:
-            continue
-        pairs.append((i, j))
-        used_source[i] = True
-        used_target[j] = True
-        if len(pairs) == limit:
-            break
-    return pairs
+    # (negated score, row, col): heapq pops the highest score first, ties by
+    # lowest row then lowest column.
+    maxima = scores.max(axis=1)
+    argmaxima = scores.argmax(axis=1)
+    heap = [
+        (-float(maxima[i]), i, int(argmaxima[i])) for i in range(n_source)
+    ]
+    return _greedy_core(heap, lambda i: scores[i], n_source, n_target)
 
 
 def top_k_indices(score_matrix: np.ndarray, k: int) -> np.ndarray:
@@ -68,6 +117,8 @@ def top_k_indices(score_matrix: np.ndarray, k: int) -> np.ndarray:
         raise ValueError(f"k must be >= 1, got {k}")
     n_target = scores.shape[1]
     k = min(k, n_target)
+    if k == 0:
+        return np.empty((scores.shape[0], 0), dtype=np.intp)
     # argpartition for efficiency, then sort the k candidates per row.
     part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
     row_indices = np.arange(scores.shape[0])[:, None]

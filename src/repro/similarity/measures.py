@@ -1,8 +1,26 @@
-"""Pairwise similarity matrices between two embedding sets."""
+"""Pairwise similarity matrices between two embedding sets.
+
+All dense measures compute their score matrix in fixed row *windows* of
+:data:`BLOCK_ROWS` rows, aligned to absolute row indices.  The windowing is
+invisible to callers (the full matrix comes back either way) but it is what
+makes the memory-bounded streaming kernels in :mod:`repro.similarity.chunked`
+**bit-identical** to the dense path: BLAS GEMM results depend on the operand
+shapes, so ``(a @ b)[s:e]`` and ``a[s:e] @ b`` can differ in the last ulp.
+By always issuing the same aligned ``(BLOCK_ROWS, d) x (d, n_t)`` products,
+every code path performs the exact same floating-point operations per output
+element, regardless of how many rows are materialised at a time.
+"""
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
+
+#: Fixed GEMM window (rows).  Every similarity kernel — dense or chunked —
+#: computes score rows in windows of exactly this many rows, aligned to
+#: absolute row index, so all paths are bit-identical (see module docstring).
+BLOCK_ROWS = 64
 
 
 def _validate_embeddings(source: np.ndarray, target: np.ndarray) -> tuple:
@@ -17,33 +35,112 @@ def _validate_embeddings(source: np.ndarray, target: np.ndarray) -> tuple:
     return source, target
 
 
-def pearson_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
-    """Pearson correlation between every source row and every target row.
-
-    The paper (Eq. 9) uses Pearson correlation because of its translation and
-    scale invariance.  Rows with zero variance are mapped to zero correlation
-    with everything.
-    """
-    source, target = _validate_embeddings(source, target)
+def _pearson_factors(
+    source: np.ndarray, target: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-normalised factors whose product is the Pearson matrix."""
     source_centered = source - source.mean(axis=1, keepdims=True)
     target_centered = target - target.mean(axis=1, keepdims=True)
     source_norm = np.linalg.norm(source_centered, axis=1, keepdims=True)
     target_norm = np.linalg.norm(target_centered, axis=1, keepdims=True)
     source_norm[source_norm == 0] = 1.0
     target_norm[target_norm == 0] = 1.0
-    correlation = (source_centered / source_norm) @ (target_centered / target_norm).T
-    return np.clip(correlation, -1.0, 1.0)
+    source_centered /= source_norm
+    target_centered /= target_norm
+    return source_centered, target_centered
 
 
-def cosine_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
-    """Cosine similarity between every source row and every target row."""
-    source, target = _validate_embeddings(source, target)
+def _cosine_factors(
+    source: np.ndarray, target: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-normalised factors whose product is the cosine matrix."""
     source_norm = np.linalg.norm(source, axis=1, keepdims=True)
     target_norm = np.linalg.norm(target, axis=1, keepdims=True)
     source_norm[source_norm == 0] = 1.0
     target_norm[target_norm == 0] = 1.0
-    similarity = (source / source_norm) @ (target / target_norm).T
-    return np.clip(similarity, -1.0, 1.0)
+    return source / source_norm, target / target_norm
+
+
+def _windowed_product(
+    source_factor: np.ndarray,
+    target_factor: np.ndarray,
+    out: np.ndarray,
+    row_offset: int = 0,
+    clip: bool = True,
+) -> np.ndarray:
+    """Fill ``out`` with ``source_factor @ target_factor.T`` window by window.
+
+    ``row_offset`` is the absolute row index of ``source_factor[0]`` in the
+    full score matrix; windows are aligned to absolute multiples of
+    :data:`BLOCK_ROWS` so that any row chunking whose boundaries are multiples
+    of the window produces identical GEMM calls.
+    """
+    n_rows = source_factor.shape[0]
+    target_t = target_factor.T
+    start = 0
+    while start < n_rows:
+        # Align the window end to the next absolute BLOCK_ROWS boundary.
+        absolute = row_offset + start
+        stop = min(n_rows, start + BLOCK_ROWS - (absolute % BLOCK_ROWS))
+        np.matmul(source_factor[start:stop], target_t, out=out[start:stop])
+        if clip:
+            np.clip(out[start:stop], -1.0, 1.0, out=out[start:stop])
+        start = stop
+    return out
+
+
+def _allocate_out(
+    out: Optional[np.ndarray], shape: Tuple[int, int]
+) -> np.ndarray:
+    if out is None:
+        return np.empty(shape, dtype=np.float64)
+    if out.shape != shape or out.dtype != np.float64:
+        raise ValueError(
+            f"out must be a float64 array of shape {shape}, "
+            f"got {out.dtype} {out.shape}"
+        )
+    return out
+
+
+def pearson_similarity(
+    source: np.ndarray,
+    target: np.ndarray,
+    *,
+    out: Optional[np.ndarray] = None,
+    chunk_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Pearson correlation between every source row and every target row.
+
+    The paper (Eq. 9) uses Pearson correlation because of its translation and
+    scale invariance.  Rows with zero variance are mapped to zero correlation
+    with everything.
+
+    ``out`` optionally receives the result in place (one ``(n_s, n_t)``
+    allocation is the peak memory either way).  ``chunk_rows`` is accepted for
+    signature compatibility with the streaming kernels; the result is
+    bit-identical for every value (see :mod:`repro.similarity.chunked` for
+    kernels that avoid materialising the matrix altogether).
+    """
+    del chunk_rows  # blocking is always window-aligned; results are identical
+    source, target = _validate_embeddings(source, target)
+    out = _allocate_out(out, (source.shape[0], target.shape[0]))
+    source_factor, target_factor = _pearson_factors(source, target)
+    return _windowed_product(source_factor, target_factor, out)
+
+
+def cosine_similarity(
+    source: np.ndarray,
+    target: np.ndarray,
+    *,
+    out: Optional[np.ndarray] = None,
+    chunk_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Cosine similarity between every source row and every target row."""
+    del chunk_rows  # blocking is always window-aligned; results are identical
+    source, target = _validate_embeddings(source, target)
+    out = _allocate_out(out, (source.shape[0], target.shape[0]))
+    source_factor, target_factor = _cosine_factors(source, target)
+    return _windowed_product(source_factor, target_factor, out)
 
 
 def euclidean_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
@@ -55,4 +152,9 @@ def euclidean_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
     return -np.maximum(distances, 0.0)
 
 
-__all__ = ["pearson_similarity", "cosine_similarity", "euclidean_similarity"]
+__all__ = [
+    "BLOCK_ROWS",
+    "pearson_similarity",
+    "cosine_similarity",
+    "euclidean_similarity",
+]

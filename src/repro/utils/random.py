@@ -9,7 +9,7 @@ end to end.
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

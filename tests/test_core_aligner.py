@@ -11,7 +11,6 @@ from repro.core.aligner import (
     STAGE_ORBIT_COUNTING,
     STAGE_TRAINING,
 )
-from repro.datasets.synthetic import tiny_pair
 from repro.eval.metrics import precision_at_q
 
 

@@ -1,7 +1,6 @@
 """Tests for the experiment protocol, robustness sweep, hyper-parameter sweep,
 ablation runner, and reporting helpers."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import AttributeAligner, DegreeAligner, IsoRank

@@ -4,7 +4,6 @@ report export helpers."""
 import json
 
 import numpy as np
-import pytest
 
 from repro.core import HTCAligner, HTCConfig
 from repro.core.variants import EXTRA_ABLATION_VARIANTS, make_variant

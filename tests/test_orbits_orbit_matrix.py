@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.graph.builders import from_edge_list
 from repro.orbits.edge_orbits import count_edge_orbits

@@ -1,0 +1,365 @@
+"""Tests for the ``repro.runner`` suite subsystem."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import MethodResult
+from repro.runner import (
+    JobSpec,
+    SuiteSpec,
+    format_suite_table,
+    load_artifacts,
+    load_manifest,
+    resolve_method,
+    run_suite,
+    to_method_results,
+)
+from repro.runner.executor import execute_job
+
+FAST_CONFIG = {"epochs": 3, "embedding_dim": 8, "orbit_cache": "off"}
+
+
+def _tiny_suite(name="unit", methods=("Degree", "Attribute"), **overrides):
+    payload = dict(
+        name=name,
+        datasets=["tiny"],
+        methods=list(methods),
+        config=dict(FAST_CONFIG),
+    )
+    payload.update(overrides)
+    return SuiteSpec(**payload)
+
+
+class TestSpecs:
+    def test_job_expansion_cross_product(self):
+        suite = SuiteSpec(
+            name="grid",
+            datasets=["tiny", {"name": "econ", "params": {"scale": 0.2}}],
+            methods=["HTC", "Degree"],
+            grid={"n_neighbors": [5, 10], "epochs": [3]},
+        )
+        jobs = suite.jobs()
+        assert len(jobs) == 2 * 2 * 2
+        assert {j.dataset for j in jobs} == {"tiny", "econ"}
+        assert {dict(j.config)["n_neighbors"] for j in jobs} == {5, 10}
+
+    def test_job_hash_is_deterministic_and_sensitive(self):
+        job = JobSpec.create("tiny", "HTC", config={"epochs": 5})
+        same = JobSpec.create("tiny", "HTC", config={"epochs": 5})
+        other = JobSpec.create("tiny", "HTC", config={"epochs": 6})
+        assert job.hash == same.hash
+        assert job.job_id == same.job_id
+        assert job.hash != other.hash
+
+    def test_suite_roundtrip(self):
+        suite = _tiny_suite(grid={"epochs": [2, 3]}, timeout=12.5)
+        clone = SuiteSpec.from_dict(suite.to_dict())
+        assert [j.hash for j in clone.jobs()] == [j.hash for j in suite.jobs()]
+
+    def test_suite_from_json_file(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(_tiny_suite().to_dict()))
+        loaded = SuiteSpec.from_json_file(path)
+        assert loaded.name == "unit"
+        assert loaded.methods == ["Degree", "Attribute"]
+
+    def test_duplicate_cells_collapse_to_one_job(self):
+        suite = SuiteSpec(
+            name="dup",
+            datasets=["tiny", "tiny"],
+            methods=["Degree", "Degree"],
+            grid={"n_neighbors": [5, 5]},
+        )
+        jobs = suite.jobs()
+        assert len(jobs) == 1
+
+    def test_suite_validation(self):
+        with pytest.raises(ValueError):
+            SuiteSpec(name="", datasets=["tiny"], methods=["HTC"])
+        with pytest.raises(ValueError):
+            SuiteSpec(name="x", datasets=[], methods=["HTC"])
+        with pytest.raises(ValueError):
+            SuiteSpec(name="x", datasets=["tiny"], methods=[])
+        with pytest.raises(ValueError):
+            SuiteSpec(name="x", datasets=["tiny"], methods=["HTC"], timeout=0)
+
+
+class TestResolveMethod:
+    def test_resolves_htc_variants_and_baselines(self):
+        from repro.core import HTCConfig
+
+        config = HTCConfig(epochs=2)
+        assert resolve_method("HTC", config).name == "HTC"
+        assert resolve_method("HTC-L", config).name == "HTC-L"
+        assert resolve_method("IsoRank", config).name == "IsoRank"
+
+    def test_unknown_method_raises(self):
+        from repro.core import HTCConfig
+
+        with pytest.raises(KeyError):
+            resolve_method("NoSuchMethod", HTCConfig())
+
+
+class TestExecuteJob:
+    def test_successful_job_artifact(self):
+        job = JobSpec.create("tiny", "Degree", config=dict(FAST_CONFIG))
+        artifact = execute_job(job.to_dict())
+        assert artifact["status"] == "done"
+        assert artifact["spec_hash"] == job.hash
+        result = MethodResult.from_dict(artifact["result"])
+        assert result.dataset == "tiny"
+        assert "p@1" in result.metrics
+
+    def test_failure_is_captured_not_raised(self):
+        job = JobSpec.create("tiny", "NoSuchMethod")
+        artifact = execute_job(job.to_dict())
+        assert artifact["status"] == "failed"
+        assert "NoSuchMethod" in artifact["error"]
+
+    def test_timeout_is_captured(self):
+        job = JobSpec.create(
+            "econ",
+            "HTC",
+            dataset_params={"scale": 0.3},
+            config={"epochs": 80, "embedding_dim": 32, "orbit_cache": "off"},
+        )
+        artifact = execute_job(job.to_dict(), timeout=0.3)
+        assert artifact["status"] == "timeout"
+
+
+class TestRunSuite:
+    def test_serial_run_writes_artifacts_and_manifest(self, tmp_path):
+        suite = _tiny_suite()
+        report = run_suite(suite, tmp_path, jobs=1)
+        assert report.counts == {"done": 2}
+        manifest = load_manifest(report.suite_dir)
+        assert len(manifest["jobs"]) == 2
+        assert all(j["status"] == "done" for j in manifest["jobs"])
+        artifacts = load_artifacts(report.suite_dir)
+        assert len(artifacts) == 2
+        assert {a["spec"]["method"] for a in artifacts} == {"Degree", "Attribute"}
+
+    def test_parallel_run_matches_serial_metrics(self, tmp_path):
+        suite = _tiny_suite(name="par", methods=("Degree", "Attribute", "IsoRank"))
+        serial = run_suite(suite, tmp_path / "serial", jobs=1)
+        parallel = run_suite(suite, tmp_path / "parallel", jobs=2)
+        assert parallel.counts == {"done": 3}
+
+        def metrics(report):
+            return {
+                r.method: r.metrics for r in to_method_results(report.artifacts)
+            }
+
+        serial_metrics = metrics(serial)
+        parallel_metrics = metrics(parallel)
+        assert serial_metrics.keys() == parallel_metrics.keys()
+        for method in serial_metrics:
+            for key, value in serial_metrics[method].items():
+                assert parallel_metrics[method][key] == pytest.approx(value)
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        suite = _tiny_suite(name="resume")
+        first = run_suite(suite, tmp_path, jobs=1)
+        assert first.counts == {"done": 2}
+        second = run_suite(suite, tmp_path, jobs=1, resume=True)
+        assert second.counts == {"cached": 2}
+        # Without --resume everything re-runs.
+        third = run_suite(suite, tmp_path, jobs=1)
+        assert third.counts == {"done": 2}
+
+    def test_resume_invalidated_by_spec_change(self, tmp_path):
+        suite = _tiny_suite(name="invalidate")
+        run_suite(suite, tmp_path, jobs=1)
+        changed = _tiny_suite(name="invalidate")
+        changed.config["epochs"] = 4
+        report = run_suite(changed, tmp_path, jobs=1, resume=True)
+        assert report.counts == {"done": 2}
+
+    def test_resume_ignores_failed_artifacts(self, tmp_path):
+        suite = _tiny_suite(name="refail", methods=("NoSuchMethod",))
+        first = run_suite(suite, tmp_path, jobs=1)
+        assert first.counts == {"failed": 1}
+        second = run_suite(suite, tmp_path, jobs=1, resume=True)
+        assert second.counts == {"failed": 1}
+
+    def test_timeout_artifact_status(self, tmp_path):
+        suite = SuiteSpec(
+            name="slow",
+            datasets=[{"name": "econ", "params": {"scale": 0.3}}],
+            methods=["HTC"],
+            config={"epochs": 80, "embedding_dim": 32, "orbit_cache": "off"},
+            timeout=0.3,
+        )
+        report = run_suite(suite, tmp_path, jobs=1)
+        assert report.counts == {"timeout": 1}
+
+    def test_report_table_renders(self, tmp_path):
+        suite = _tiny_suite(name="table")
+        report = run_suite(suite, tmp_path, jobs=1)
+        text = report.table()
+        assert "Degree" in text and "tiny" in text and "status" in text
+        assert "done" in text
+
+
+class TestAggregation:
+    def test_format_suite_table_includes_failures(self, tmp_path):
+        suite = _tiny_suite(name="mixed", methods=("Degree", "NoSuchMethod"))
+        report = run_suite(suite, tmp_path, jobs=1)
+        table = format_suite_table(report.artifacts, title="mixed")
+        assert "failed" in table and "done" in table
+
+    def test_to_method_results_skips_failures(self, tmp_path):
+        suite = _tiny_suite(name="skipf", methods=("Degree", "NoSuchMethod"))
+        report = run_suite(suite, tmp_path, jobs=1)
+        results = to_method_results(report.artifacts)
+        assert [r.method for r in results] == ["Degree"]
+
+    def test_load_artifacts_without_manifest(self, tmp_path):
+        suite = _tiny_suite(name="nomanifest")
+        report = run_suite(suite, tmp_path, jobs=1)
+        (report.suite_dir / "manifest.json").unlink()
+        artifacts = load_artifacts(report.suite_dir)
+        assert len(artifacts) == 2
+
+
+class TestCLIRunSuite:
+    def test_run_suite_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run-suite",
+                "--datasets",
+                "tiny",
+                "--methods",
+                "Degree",
+                "Attribute",
+                "--epochs",
+                "3",
+                "--dim",
+                "8",
+                "--jobs",
+                "1",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "manifest written" in output
+        assert "done: 2" in output
+
+    def test_run_suite_resume_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "run-suite",
+            "--datasets",
+            "tiny",
+            "--methods",
+            "Degree",
+            "--epochs",
+            "3",
+            "--dim",
+            "8",
+            "--output",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        assert "cached: 1" in capsys.readouterr().out
+
+    def test_run_suite_from_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "suite.json"
+        spec_path.write_text(json.dumps(_tiny_suite(name="fromjson").to_dict()))
+        code = main(
+            [
+                "run-suite",
+                "--suite",
+                str(spec_path),
+                "--jobs",
+                "1",
+                "--output",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        manifest = load_manifest(tmp_path / "out" / "fromjson")
+        assert len(manifest["jobs"]) == 2
+
+    def test_run_suite_propagates_failure_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run-suite",
+                "--datasets",
+                "tiny",
+                "--methods",
+                "Degree",
+                "NoSuchMethod",
+                "--epochs",
+                "3",
+                "--dim",
+                "8",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+
+
+class TestMethodResultRoundtrip:
+    def test_to_from_dict(self):
+        result = MethodResult(
+            method="HTC",
+            dataset="tiny",
+            metrics={"p@1": 0.5, "MRR": 0.6},
+            time_seconds=1.25,
+            n_runs=2,
+            stage_times={"training": 1.0},
+        )
+        clone = MethodResult.from_dict(result.to_dict())
+        assert clone == result
+
+    def test_json_roundtrip_preserves_metric_order(self):
+        result = MethodResult(
+            method="HTC",
+            dataset="tiny",
+            metrics={"p@1": 0.5, "p@10": 0.9, "MRR": 0.6},
+            time_seconds=0.1,
+        )
+        clone = MethodResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert list(clone.metrics) == ["p@1", "p@10", "MRR"]
+
+
+class TestIntegrationChunking:
+    def test_integrate_chunked_identical(self):
+        from repro.core.integration import integrate_alignment_matrices
+
+        rng = np.random.default_rng(0)
+        matrices = {k: rng.standard_normal((37, 21)) for k in range(4)}
+        counts = {0: 3, 1: 0, 2: 5, 3: 2}
+        dense, _ = integrate_alignment_matrices(matrices, counts)
+        for chunk in (1, 8, 100):
+            chunked, _ = integrate_alignment_matrices(
+                matrices, counts, chunk_rows=chunk
+            )
+            np.testing.assert_array_equal(dense, chunked)
+
+    def test_integrate_empty_matrices(self):
+        from repro.core.integration import integrate_alignment_matrices
+
+        for chunk in (None, 4):
+            final, importance = integrate_alignment_matrices(
+                {0: np.zeros((0, 5)), 1: np.zeros((0, 5))},
+                {0: 3, 1: 1},
+                chunk_rows=chunk,
+            )
+            assert final.shape == (0, 5)
+            assert importance == {0: 0.75, 1: 0.25}
