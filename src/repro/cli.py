@@ -1,6 +1,6 @@
 """Command-line interface for the HTC reproduction.
 
-Five sub-commands cover the typical workflows without writing Python:
+Eight sub-commands cover the typical workflows without writing Python:
 
 ``datasets``
     List the bundled dataset stand-ins and their statistics.
@@ -13,7 +13,20 @@ Five sub-commands cover the typical workflows without writing Python:
     Sweep edge-removal noise on a robustness dataset (the Fig. 9 layout).
 ``run-suite``
     Execute a declarative suite (datasets × methods × config grid) on a
-    process pool, with per-job JSON artifacts, a manifest and resumability.
+    process pool, with per-job JSON artifacts, a manifest and resumability;
+    ``--emit-artifacts`` additionally persists every job's alignment as a
+    queryable serve artifact.
+``export-artifact``
+    Train one method on one dataset and persist the alignment (plus its
+    sparse top-k index) into an artifact store.
+``query``
+    Answer match / top-k / reverse-match queries from a stored artifact.
+``serve-stats``
+    Inspect an artifact store: ids, shapes, index sizes, compression.
+
+Dataset arguments accept registered names (``douban``, ``tiny``, ...) and
+prefixed names such as ``dir:/path/to/exported-pair`` (a directory written
+by ``repro.datasets.save_pair``).
 
 Examples
 --------
@@ -21,12 +34,15 @@ Examples
 
     python -m repro.cli datasets
     python -m repro.cli align --dataset douban --method HTC --epochs 40
-    python -m repro.cli align --dataset allmovie_imdb --method GAlign
     python -m repro.cli compare --datasets douban allmovie_imdb --scale 0.3
     python -m repro.cli robustness --dataset econ --methods HTC GAlign IsoRank
     python -m repro.cli run-suite --datasets tiny econ bn --methods HTC \
-        IsoRank Degree --jobs 4 --output runs
-    python -m repro.cli run-suite --suite suite.json --jobs 4 --resume
+        IsoRank Degree --jobs 4 --output runs --emit-artifacts
+    python -m repro.cli export-artifact --dataset tiny --method HTC \
+        --artifact-root artifacts --index-k 10
+    python -m repro.cli query --artifact-root artifacts --artifact <id> \
+        --op top-k --k 5 --nodes 0 1 2
+    python -m repro.cli serve-stats --artifact-root artifacts
 """
 
 from __future__ import annotations
@@ -37,7 +53,7 @@ from typing import List, Optional, Sequence
 
 from repro.baselines import PAPER_BASELINES, make_baseline
 from repro.core import HTCAligner, HTCConfig
-from repro.datasets import available_datasets, load_dataset
+from repro.datasets import available_datasets, is_known_dataset, load_dataset
 from repro.datasets.synthetic import bn, econ
 from repro.eval.protocol import run_comparison, run_method
 from repro.eval.reporting import format_importance_ranking, format_series, format_table
@@ -45,6 +61,35 @@ from repro.eval.robustness import run_robustness
 from repro.orbits.engine import available_backends as available_orbit_backends
 from repro.runner import SuiteSpec, resolve_method, run_suite
 from repro.runner.executor import known_method_names
+from repro.serve import AlignmentService, export_result, list_artifacts
+
+
+def _dataset_arg(name: str) -> str:
+    """argparse type validating plain or prefixed (``dir:<path>``) names."""
+    if not is_known_dataset(name):
+        raise argparse.ArgumentTypeError(
+            f"unknown dataset {name!r}; available: {available_datasets()} "
+            f'or a prefixed name like "dir:<path>"'
+        )
+    return name
+
+
+def _is_prefixed(name: str) -> bool:
+    return ":" in name and name not in available_datasets()
+
+
+def _load_cli_dataset(name: str, args: argparse.Namespace, seed=None) -> object:
+    """Load a dataset honouring the CLI conventions.
+
+    Generated datasets take ``--scale``/``--seed``; ``tiny`` ignores scale;
+    prefixed datasets (on-disk directories) take no parameters at all.
+    """
+    if _is_prefixed(name):
+        return load_dataset(name)
+    random_state = args.seed if seed is None else seed
+    if name == "tiny":
+        return load_dataset(name, random_state=random_state)
+    return load_dataset(name, scale=args.scale, random_state=random_state)
 
 
 def _config_from_args(args: argparse.Namespace) -> HTCConfig:
@@ -107,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("datasets", help="list bundled datasets and their statistics")
 
     align = subparsers.add_parser("align", help="run one method on one dataset")
-    align.add_argument("--dataset", required=True, choices=available_datasets())
+    align.add_argument("--dataset", required=True, type=_dataset_arg)
     align.add_argument(
         "--method",
         default="HTC",
@@ -119,7 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run HTC and all baselines on one or more datasets"
     )
     compare.add_argument(
-        "--datasets", nargs="+", default=["douban"], choices=available_datasets()
+        "--datasets", nargs="+", default=["douban"], type=_dataset_arg
     )
     _add_model_arguments(compare)
 
@@ -147,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suite.add_argument("--name", default="suite", help="suite name (inline specs)")
     suite.add_argument(
-        "--datasets", nargs="+", default=["tiny"], choices=available_datasets()
+        "--datasets", nargs="+", default=["tiny"], type=_dataset_arg
     )
     suite.add_argument(
         "--methods",
@@ -176,7 +221,83 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument(
         "--output", default="runs", metavar="DIR", help="artifact root directory"
     )
+    suite.add_argument(
+        "--emit-artifacts",
+        action="store_true",
+        help="persist every job's alignment as a queryable serve artifact "
+        "under <output>/<suite>/serve_artifacts/",
+    )
     _add_model_arguments(suite)
+
+    export = subparsers.add_parser(
+        "export-artifact",
+        help="train one method on one dataset and persist the alignment "
+        "(plus its sparse top-k index) as a serve artifact",
+    )
+    export.add_argument("--dataset", required=True, type=_dataset_arg)
+    export.add_argument(
+        "--method", default="HTC", help=f"one of {known_method_names()}"
+    )
+    export.add_argument(
+        "--artifact-root",
+        default="artifacts",
+        metavar="DIR",
+        help="artifact store root directory",
+    )
+    export.add_argument(
+        "--artifact-name",
+        default=None,
+        metavar="NAME",
+        help="artifact id prefix (default: <dataset>-<method>)",
+    )
+    export.add_argument(
+        "--index-k",
+        type=int,
+        default=10,
+        metavar="K",
+        help="candidates stored per source row / target column",
+    )
+    _add_model_arguments(export)
+
+    query = subparsers.add_parser(
+        "query", help="answer matching queries from a stored artifact"
+    )
+    query.add_argument(
+        "--artifact-root", default="artifacts", metavar="DIR",
+        help="artifact store root directory",
+    )
+    query.add_argument(
+        "--artifact", required=True, metavar="ID", help="artifact id to query"
+    )
+    query.add_argument(
+        "--op",
+        choices=("match", "top-k", "reverse-match", "reverse-top-k"),
+        default="match",
+        help="query operation",
+    )
+    query.add_argument(
+        "--nodes",
+        nargs="+",
+        type=int,
+        required=True,
+        help="node ids to query (source side; target side for reverse ops)",
+    )
+    query.add_argument(
+        "--k", type=int, default=5, help="candidates per node (top-k ops)"
+    )
+    query.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the artifact integrity (hash) check on load",
+    )
+
+    stats = subparsers.add_parser(
+        "serve-stats", help="inspect an artifact store"
+    )
+    stats.add_argument(
+        "--artifact-root", default="artifacts", metavar="DIR",
+        help="artifact store root directory",
+    )
 
     return parser
 
@@ -192,11 +313,7 @@ def _cmd_datasets() -> int:
 
 def _cmd_align(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    pair = (
-        load_dataset(args.dataset, scale=args.scale, random_state=args.seed)
-        if args.dataset != "tiny"
-        else load_dataset("tiny", random_state=args.seed)
-    )
+    pair = _load_cli_dataset(args.dataset, args)
     method = resolve_method(args.method, config)
     result = run_method(method, pair, n_runs=args.runs, random_state=args.seed)
     print(format_table([result.as_row()], title=f"{args.method} on {pair.name}"))
@@ -209,7 +326,7 @@ def _cmd_align(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     pairs = [
-        load_dataset(name, scale=args.scale, random_state=index)
+        _load_cli_dataset(name, args, seed=index)
         for index, name in enumerate(args.datasets)
     ]
     methods = [HTCAligner(config)] + [make_baseline(name) for name in PAPER_BASELINES]
@@ -255,7 +372,11 @@ def _suite_from_args(args: argparse.Namespace) -> SuiteSpec:
     datasets: List[object] = []
     for name in args.datasets:
         # Mirror the align subcommand's loading convention: the seed also
-        # controls dataset generation; tiny ignores --scale.
+        # controls dataset generation; tiny ignores --scale; prefixed
+        # (on-disk) datasets take no parameters.
+        if _is_prefixed(name):
+            datasets.append(name)
+            continue
         params: dict = {"random_state": args.seed}
         if name != "tiny":
             params["scale"] = args.scale
@@ -291,6 +412,7 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         resume=args.resume,
         timeout=args.timeout,
+        emit_artifacts=args.emit_artifacts,
     )
     print(report.table())
     counts = report.counts
@@ -300,8 +422,103 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         f"{report.wall_clock_seconds:.2f}s with {report.workers} worker(s)"
     )
     print(f"[manifest written to {report.manifest_path}]")
+    if args.emit_artifacts:
+        emitted = [
+            a["serve_artifact"]["artifact_id"]
+            for a in report.artifacts
+            if isinstance(a.get("serve_artifact"), dict)
+        ]
+        print(
+            f"[{len(emitted)} serve artifact(s) under "
+            f"{report.suite_dir / 'serve_artifacts'}]"
+        )
     failed = counts.get("failed", 0) + counts.get("timeout", 0)
     return 1 if failed else 0
+
+
+def _cmd_export_artifact(args: argparse.Namespace) -> int:
+    if args.runs != 1:
+        print(
+            "warning: export-artifact persists a single alignment; "
+            f"--runs {args.runs} is ignored",
+            file=sys.stderr,
+        )
+    config = _config_from_args(args)
+    pair = _load_cli_dataset(args.dataset, args)
+    method = resolve_method(args.method, config)
+    train_anchors = None
+    if getattr(method, "requires_supervision", False):
+        train_anchors, _ = pair.split_anchors(0.1, random_state=args.seed)
+    raw = method.align(pair, train_anchors=train_anchors)
+    name = args.artifact_name or f"{pair.name}-{args.method}"
+    info = export_result(
+        raw,
+        config,
+        root=args.artifact_root,
+        name=name,
+        index_k=args.index_k,
+        metadata={"dataset": args.dataset, "method": args.method},
+    )
+    n_s, n_t = info.index.shape
+    print(f"artifact id:   {info.artifact_id}")
+    print(f"path:          {info.path}")
+    print(f"matrix shape:  {n_s} x {n_t}")
+    print(f"index k:       {info.index.k} (reverse {info.index.reverse_k})")
+    print(
+        f"index memory:  {info.index.nbytes / 1e6:.2f} MB "
+        f"(dense {info.index.dense_nbytes / 1e6:.2f} MB, "
+        f"{info.index.compression_ratio:.1f}x smaller)"
+    )
+    print(f"on disk:       {info.disk_bytes / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    service = AlignmentService()
+    artifact_id = service.load(
+        args.artifact_root, args.artifact, verify=not args.no_verify
+    )
+    op = args.op.replace("-", "_")
+    if op in ("top_k", "reverse_top_k"):
+        answers = getattr(service, op)(artifact_id, args.nodes, args.k)
+        for node, row in zip(args.nodes, answers):
+            print(f"{node}: {' '.join(str(int(x)) for x in row)}")
+    else:
+        answers = getattr(service, op)(artifact_id, args.nodes)
+        for node, match in zip(args.nodes, answers):
+            print(f"{node}: {int(match)}")
+    stats = service.stats()
+    print(
+        f"[{stats['queries']} queries in {1000 * stats['total_latency_s']:.2f} ms]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    manifests = list_artifacts(args.artifact_root)
+    if not manifests:
+        print(f"no artifacts under {args.artifact_root}")
+        return 1
+    rows = []
+    for manifest in manifests:
+        index_meta = dict(manifest.get("index", {}))
+        shape = index_meta.get("shape", ["?", "?"])
+        metadata = dict(manifest.get("metadata", {}))
+        rows.append(
+            {
+                "artifact_id": manifest.get("artifact_id", "?"),
+                "dataset": metadata.get("dataset", ""),
+                "method": metadata.get("method", ""),
+                "shape": f"{shape[0]}x{shape[1]}",
+                "k": index_meta.get("k", "?"),
+                "schema": ".".join(
+                    str(x) for x in manifest.get("schema_version", [])
+                ),
+            }
+        )
+    print(format_table(rows, title=f"Artifacts under {args.artifact_root}"))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -317,6 +534,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_robustness(args)
     if args.command == "run-suite":
         return _cmd_run_suite(args)
+    if args.command == "export-artifact":
+        return _cmd_export_artifact(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "serve-stats":
+        return _cmd_serve_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

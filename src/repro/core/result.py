@@ -64,6 +64,85 @@ class AlignmentResult:
         """Orbits sorted by decreasing importance weight (the Fig. 6 ranking)."""
         return sorted(self.orbit_importance.items(), key=lambda kv: -kv[1])
 
+    # ------------------------------------------------------------------
+    # serialization hooks (used by :mod:`repro.serve.artifacts`)
+    # ------------------------------------------------------------------
+    def array_payload(self) -> Dict[str, np.ndarray]:
+        """All array-valued fields keyed by flat, filesystem-safe names.
+
+        Orbit-keyed dictionaries are flattened to ``<field>_<orbit_id>``
+        entries; :meth:`from_payload` reverses the flattening.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "alignment_matrix": np.asarray(self.alignment_matrix)
+        }
+        for orbit, matrix in self.orbit_matrices.items():
+            arrays[f"orbit_matrix_{orbit}"] = np.asarray(matrix)
+        for orbit, emb in self.source_embeddings.items():
+            arrays[f"source_embedding_{orbit}"] = np.asarray(emb)
+        for orbit, emb in self.target_embeddings.items():
+            arrays[f"target_embedding_{orbit}"] = np.asarray(emb)
+        if self.training_losses:
+            arrays["training_losses"] = np.asarray(
+                self.training_losses, dtype=np.float64
+            )
+        return arrays
+
+    def scalar_payload(self) -> Dict[str, object]:
+        """JSON-serialisable scalar fields (importances, counts, timings)."""
+        return {
+            "orbit_importance": {str(k): float(v) for k, v in self.orbit_importance.items()},
+            "trusted_pair_counts": {
+                str(k): int(v) for k, v in self.trusted_pair_counts.items()
+            },
+            "stage_times": {str(k): float(v) for k, v in self.stage_times.items()},
+        }
+
+    @classmethod
+    def from_payload(
+        cls, arrays: Dict[str, np.ndarray], scalars: Dict[str, object]
+    ) -> "AlignmentResult":
+        """Rebuild a result from :meth:`array_payload` + :meth:`scalar_payload`.
+
+        Unknown array or scalar keys are ignored so newer writers stay
+        loadable by older readers (forward compatibility).
+        """
+        if "alignment_matrix" not in arrays:
+            raise ValueError("payload is missing the alignment_matrix array")
+        orbit_matrices: Dict[int, np.ndarray] = {}
+        source_embeddings: Dict[int, np.ndarray] = {}
+        target_embeddings: Dict[int, np.ndarray] = {}
+        for name, array in arrays.items():
+            for prefix, bucket in (
+                ("orbit_matrix_", orbit_matrices),
+                ("source_embedding_", source_embeddings),
+                ("target_embedding_", target_embeddings),
+            ):
+                suffix = name[len(prefix):]
+                # Non-numeric suffixes are unknown keys from a newer writer.
+                if name.startswith(prefix) and suffix.lstrip("-").isdigit():
+                    bucket[int(suffix)] = np.asarray(array)
+        losses = arrays.get("training_losses")
+        return cls(
+            alignment_matrix=np.asarray(arrays["alignment_matrix"]),
+            orbit_matrices=orbit_matrices,
+            orbit_importance={
+                int(k): float(v)
+                for k, v in dict(scalars.get("orbit_importance", {})).items()
+            },
+            trusted_pair_counts={
+                int(k): int(v)
+                for k, v in dict(scalars.get("trusted_pair_counts", {})).items()
+            },
+            source_embeddings=source_embeddings,
+            target_embeddings=target_embeddings,
+            stage_times={
+                str(k): float(v)
+                for k, v in dict(scalars.get("stage_times", {})).items()
+            },
+            training_losses=[] if losses is None else [float(x) for x in losses],
+        )
+
     def __repr__(self) -> str:
         shape = self.alignment_matrix.shape
         return (

@@ -17,7 +17,14 @@ provides:
 
 from repro.datasets.io import load_pair, save_pair
 from repro.datasets.pair import GraphPair
-from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.registry import (
+    available_datasets,
+    available_prefixes,
+    is_known_dataset,
+    load_dataset,
+    register_dataset,
+    register_prefix,
+)
 from repro.datasets.synthetic import (
     allmovie_imdb,
     bn,
@@ -37,6 +44,10 @@ __all__ = [
     "bn",
     "load_dataset",
     "available_datasets",
+    "available_prefixes",
+    "is_known_dataset",
+    "register_dataset",
+    "register_prefix",
     "load_pair",
     "save_pair",
 ]

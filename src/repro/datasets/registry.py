@@ -1,9 +1,23 @@
-"""Name-based dataset registry used by the benchmark harness and examples."""
+"""Name-based dataset registry used by the benchmark harness and examples.
+
+Two kinds of names resolve:
+
+* plain registered names (``"douban"``, ``"tiny"``, anything added with
+  :func:`register_dataset`),
+* prefixed names of the form ``"<prefix>:<rest>"`` handled by a prefix
+  factory (see :func:`register_prefix`).  The built-in ``"dir"`` prefix
+  loads a directory previously written by
+  :func:`repro.datasets.io.save_pair` — e.g.
+  ``load_dataset("dir:/data/exported/douban")`` — so suite specs and the
+  CLI can target exported on-disk datasets, not just the bundled synthetic
+  ones.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.datasets.io import load_pair
 from repro.datasets.pair import GraphPair
 from repro.datasets.synthetic import (
     allmovie_imdb,
@@ -24,22 +38,57 @@ _REGISTRY: Dict[str, Callable[..., GraphPair]] = {
 }
 
 
+def _load_directory_pair(path: str, **kwargs) -> GraphPair:
+    """Factory behind the ``dir:`` prefix."""
+    if kwargs:
+        raise TypeError(
+            f"directory datasets take no parameters, got {sorted(kwargs)}"
+        )
+    if not path:
+        raise ValueError('the "dir:" prefix needs a path, e.g. "dir:/data/pair"')
+    return load_pair(path)
+
+
+_PREFIXES: Dict[str, Callable[..., GraphPair]] = {
+    "dir": _load_directory_pair,
+}
+
+
 def available_datasets() -> List[str]:
-    """Names accepted by :func:`load_dataset`."""
+    """Plain names accepted by :func:`load_dataset` (prefixes not listed)."""
     return sorted(_REGISTRY)
+
+
+def available_prefixes() -> List[str]:
+    """Registered name prefixes (each accepts ``"<prefix>:<rest>"`` names)."""
+    return sorted(_PREFIXES)
+
+
+def is_known_dataset(name: str) -> bool:
+    """Whether ``name`` resolves — a registered name or a known prefix."""
+    if name in _REGISTRY:
+        return True
+    prefix, _, rest = name.partition(":")
+    return bool(rest) and prefix in _PREFIXES
 
 
 def load_dataset(name: str, **kwargs) -> GraphPair:
     """Instantiate the dataset registered under ``name``.
 
     Keyword arguments are forwarded to the generator (e.g. ``scale``,
-    ``random_state``, or ``edge_removal_ratio`` for the robustness datasets).
+    ``random_state``, or ``edge_removal_ratio`` for the robustness datasets)
+    or to the prefix factory for ``"<prefix>:<rest>"`` names.
     """
+    if name not in _REGISTRY and ":" in name:
+        prefix, _, rest = name.partition(":")
+        if prefix in _PREFIXES:
+            return _PREFIXES[prefix](rest, **kwargs)
     try:
         factory = _REGISTRY[name]
     except KeyError as error:
         raise KeyError(
-            f"unknown dataset {name!r}; available: {available_datasets()}"
+            f"unknown dataset {name!r}; available: {available_datasets()} "
+            f"(or a prefixed name, e.g. \"dir:<path>\")"
         ) from error
     return factory(**kwargs)
 
@@ -51,4 +100,24 @@ def register_dataset(name: str, factory: Callable[..., GraphPair]) -> None:
     _REGISTRY[name] = factory
 
 
-__all__ = ["available_datasets", "load_dataset", "register_dataset"]
+def register_prefix(prefix: str, factory: Callable[..., GraphPair]) -> None:
+    """Register a factory for ``"<prefix>:<rest>"`` names.
+
+    The factory is called as ``factory(rest, **kwargs)`` where ``rest`` is
+    everything after the first colon.
+    """
+    if not callable(factory):
+        raise TypeError("factory must be callable")
+    if not prefix or ":" in prefix:
+        raise ValueError(f"prefix must be non-empty and colon-free, got {prefix!r}")
+    _PREFIXES[prefix] = factory
+
+
+__all__ = [
+    "available_datasets",
+    "available_prefixes",
+    "is_known_dataset",
+    "load_dataset",
+    "register_dataset",
+    "register_prefix",
+]

@@ -8,7 +8,7 @@ methods never see ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -78,13 +78,17 @@ def run_method(
     n_runs: int = 1,
     precision_ks: Iterable[int] = (1, 10),
     random_state: RandomStateLike = 0,
+    on_result: Optional[Callable[[object], None]] = None,
 ) -> MethodResult:
     """Run ``aligner`` on ``pair`` ``n_runs`` times and average the metrics.
 
     ``aligner`` needs an ``align(pair, train_anchors=None)`` method and a
     ``name``/``requires_supervision`` attribute (both
     :class:`repro.baselines.BaseAligner` and :class:`repro.core.HTCAligner`
-    qualify).
+    qualify).  ``on_result`` is invoked with each run's raw ``align`` output
+    (an :class:`~repro.core.result.AlignmentResult` or a bare score matrix)
+    before it is reduced to metrics — the hook the suite runner uses to
+    persist serve artifacts without re-running the method.
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
@@ -101,6 +105,8 @@ def run_method(
 
         with Timer() as timer:
             raw_result = aligner.align(pair, train_anchors=train_anchors)
+        if on_result is not None:
+            on_result(raw_result)
         matrix = _extract_matrix(raw_result)
 
         run_metrics = evaluate_alignment(

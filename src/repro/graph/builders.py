@@ -29,10 +29,18 @@ def from_edge_list(
         Optional ``(n_nodes, d)`` attribute matrix.
     """
     edge_list = [(int(u), int(v)) for u, v in edges]
+    if any(u < 0 or v < 0 for u, v in edge_list):
+        raise ValueError("node ids must be non-negative integers")
     if n_nodes is None:
         if not edge_list:
             raise ValueError("cannot infer n_nodes from an empty edge list")
         n_nodes = max(max(u, v) for u, v in edge_list) + 1
+    elif edge_list:
+        largest = max(max(u, v) for u, v in edge_list)
+        if largest >= n_nodes:
+            raise ValueError(
+                f"edge references node {largest} but n_nodes is {n_nodes}"
+            )
     adjacency = sparse_from_edges(edge_list, n_nodes)
     adjacency.data[:] = 1.0
     return AttributedGraph(adjacency, attributes, name=name)

@@ -83,12 +83,18 @@ def execute_job(
     job_payload: Dict[str, object],
     timeout: Optional[float] = None,
     method_resolver: Optional[Callable[[str, object], object]] = None,
+    emit_artifacts_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run one job to completion and return its artifact payload.
 
     Runs in a worker process (but is equally callable inline).  Never raises:
     failures and timeouts are captured into the artifact's ``status`` /
     ``error`` fields so one bad cell cannot take down a sweep.
+
+    With ``emit_artifacts_dir`` set, the job's final alignment (the last
+    run's raw ``align`` output) is additionally persisted as a serve
+    artifact under that directory (see :mod:`repro.serve.artifacts`); the
+    job payload then records its ``serve_artifact`` id and path.
     """
     from repro.core import HTCConfig
     from repro.datasets import load_dataset
@@ -116,15 +122,22 @@ def execute_job(
         resolver = method_resolver if method_resolver is not None else resolve_method
         method = resolver(job.method, config)
         pair = load_dataset(job.dataset, **dict(job.dataset_params))
+        last_alignment: List[object] = []
+        on_result = last_alignment.append if emit_artifacts_dir else None
         result = run_method(
             method,
             pair,
             train_ratio=job.train_ratio,
             n_runs=job.n_runs,
             random_state=job.seed,
+            on_result=on_result,
         )
         artifact["status"] = STATUS_DONE
         artifact["result"] = result.to_dict()
+        if emit_artifacts_dir and last_alignment:
+            artifact["serve_artifact"] = _emit_serve_artifact(
+                last_alignment[-1], config, job, emit_artifacts_dir
+            )
     except JobTimeout:
         artifact["status"] = STATUS_TIMEOUT
         artifact["error"] = f"job exceeded the {timeout}s wall-clock budget"
@@ -139,6 +152,35 @@ def execute_job(
             signal.signal(signal.SIGALRM, previous_handler)
     artifact["wall_seconds"] = time.perf_counter() - started
     return artifact
+
+
+def _emit_serve_artifact(
+    raw_result: object,
+    config,
+    job: JobSpec,
+    artifacts_dir: str,
+) -> Dict[str, object]:
+    """Persist one job's alignment as a serve artifact; returns its summary."""
+    from repro.serve.artifacts import export_result
+
+    info = export_result(
+        raw_result,
+        config,
+        root=artifacts_dir,
+        name=job.job_id,
+        metadata={
+            "dataset": job.dataset,
+            "method": job.method,
+            "job_id": job.job_id,
+            "spec_hash": job.hash,
+        },
+    )
+    return {
+        "artifact_id": info.artifact_id,
+        "path": str(info.path),
+        "disk_bytes": info.disk_bytes,
+        "compression_ratio": round(info.index.compression_ratio, 2),
+    }
 
 
 def _write_json(path: Path, payload: Dict[str, object]) -> None:
@@ -208,6 +250,7 @@ def run_suite(
     timeout: Optional[float] = None,
     method_resolver: Optional[Callable[[str, object], object]] = None,
     on_job_done: Optional[Callable[[Dict[str, object]], None]] = None,
+    emit_artifacts: bool = False,
 ) -> SuiteRunReport:
     """Execute every job of ``suite`` and return the run report.
 
@@ -232,12 +275,18 @@ def run_suite(
         module-level callable when ``jobs > 1``).
     on_job_done:
         Optional callback invoked with each artifact as it completes.
+    emit_artifacts:
+        Additionally persist every job's alignment as a serve artifact
+        under ``<suite_dir>/serve_artifacts/`` (queryable via
+        :class:`repro.serve.service.AlignmentService` and the ``query``
+        CLI subcommand).
     """
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     timeout = timeout if timeout is not None else suite.timeout
     suite_dir = Path(output_dir) / suite.name
     jobs_dir = suite_dir / "jobs"
+    serve_dir = str(suite_dir / "serve_artifacts") if emit_artifacts else None
     job_specs = suite.jobs()
 
     started = time.perf_counter()
@@ -246,6 +295,10 @@ def run_suite(
     for job in job_specs:
         artifact_path = jobs_dir / f"{job.job_id}.json"
         cached = _load_cached_artifact(artifact_path, job) if resume else None
+        if cached is not None and emit_artifacts and "serve_artifact" not in cached:
+            # The cached run predates artifact emission; re-run the job so
+            # --emit-artifacts is honoured rather than silently skipped.
+            cached = None
         if cached is not None:
             cached = dict(cached)
             cached["status"] = STATUS_CACHED
@@ -270,11 +323,13 @@ def run_suite(
 
     if jobs == 1 or len(pending) <= 1:
         for job in pending:
-            _record(execute_job(job.to_dict(), timeout, method_resolver))
+            _record(execute_job(job.to_dict(), timeout, method_resolver, serve_dir))
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
-                pool.submit(execute_job, job.to_dict(), timeout, method_resolver): job
+                pool.submit(
+                    execute_job, job.to_dict(), timeout, method_resolver, serve_dir
+                ): job
                 for job in pending
             }
             remaining = set(futures)
@@ -304,6 +359,7 @@ def run_suite(
         "suite": suite.to_dict(),
         "workers": jobs,
         "resume": resume,
+        "emit_artifacts": emit_artifacts,
         "timeout": timeout,
         "wall_clock_seconds": wall_clock,
         "created_unix": time.time(),
@@ -314,6 +370,11 @@ def run_suite(
                 "spec_hash": a["spec_hash"],
                 "artifact": f"jobs/{a['job_id']}.json",
                 "wall_seconds": a.get("wall_seconds", 0.0),
+                **(
+                    {"serve_artifact": a["serve_artifact"]["artifact_id"]}
+                    if isinstance(a.get("serve_artifact"), dict)
+                    else {}
+                ),
             }
             for a in ordered
         ],

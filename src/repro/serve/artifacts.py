@@ -1,0 +1,460 @@
+"""Versioned, content-hash-addressed persistence of alignment results.
+
+One artifact is a directory::
+
+    <root>/<artifact_id>/
+        manifest.json    # schema version, config, scalars, array index, hashes
+        arrays.npz       # every array: result fields + sparse top-k index
+
+``artifact_id`` is ``<name>-<hash12>`` where the hash covers the manifest's
+content — the config, the scalar payload and every array's shape/dtype/sha256
+— so identical results collapse to one artifact and any change produces a
+new id.  The manifest records each array's SHA-256, verified on load.
+
+Format stability:
+
+* ``schema_version`` gates compatibility — loading an artifact written by a
+  *newer major* schema raises :class:`ArtifactSchemaError`; unknown manifest
+  keys and unknown array names are ignored (forward-compatible load),
+* an artifact missing its sparse index arrays (e.g. written by a stripped
+  exporter) is still servable: the index is rebuilt from the dense
+  alignment matrix on load.
+
+Loading supports two modes: ``"full"`` (rebuild the complete
+:class:`~repro.core.result.AlignmentResult`) and ``"serve"`` (load only the
+``O(n·k)`` index arrays — the memory-light path the query service uses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.config import HTCConfig
+from repro.core.result import AlignmentResult
+from repro.runner.spec import canonical_json, spec_hash
+from repro.serve.index import DEFAULT_INDEX_K, SparseTopKIndex, build_index
+
+#: Current artifact schema. Major bumps break readers; the minor component
+#: (the second element) is informational.
+SCHEMA_VERSION = [1, 0]
+
+MANIFEST_FILE = "manifest.json"
+ARRAYS_FILE = "arrays.npz"
+
+#: Array names belonging to the sparse index (the ``"serve"`` loading set).
+_INDEX_ARRAYS = (
+    "index_indices",
+    "index_scores",
+    "index_reverse_indices",
+    "index_reverse_scores",
+)
+
+
+class ArtifactNotFoundError(FileNotFoundError):
+    """No artifact with the requested id under the store root."""
+
+
+class ArtifactSchemaError(ValueError):
+    """The artifact was written by an incompatible (newer) schema."""
+
+
+class ArtifactIntegrityError(ValueError):
+    """An array's content does not match its recorded hash."""
+
+
+def _slug(text: str) -> str:
+    slug = re.sub(r"[^A-Za-z0-9]+", "-", text).strip("-").lower()
+    return slug or "artifact"
+
+
+def _array_sha256(array: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# config (de)serialization
+# ----------------------------------------------------------------------
+def serialize_config(config: HTCConfig) -> Dict[str, object]:
+    """JSON-safe dict of an :class:`HTCConfig`.
+
+    Non-serialisable runtime handles degrade to their loadable defaults: a
+    live cache object becomes ``"memory"``, a ``RandomState``/``Generator``
+    seed becomes ``0`` (artifacts describe a *finished* run; the seed is
+    informational at serve time).
+    """
+    payload: Dict[str, object] = {}
+    for spec in dataclasses.fields(config):
+        value = getattr(config, spec.name)
+        if spec.name == "orbit_cache" and not isinstance(value, (bool, str)):
+            value = "memory"
+        if spec.name == "random_state" and not isinstance(value, (int, type(None))):
+            value = 0
+        if isinstance(value, tuple):
+            value = list(value)
+        payload[spec.name] = value
+    return payload
+
+
+def deserialize_config(payload: Dict[str, object]) -> HTCConfig:
+    """Rebuild an :class:`HTCConfig`, ignoring unknown fields."""
+    known = {spec.name for spec in dataclasses.fields(HTCConfig)}
+    kwargs = {k: v for k, v in dict(payload).items() if k in known}
+    for name in ("orbits", "diffusion_orders"):
+        if isinstance(kwargs.get(name), list):
+            kwargs[name] = tuple(kwargs[name])
+    return HTCConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+@dataclass
+class ArtifactInfo:
+    """Summary returned by :func:`save_artifact`."""
+
+    artifact_id: str
+    path: Path
+    manifest: Dict[str, object]
+    index: SparseTopKIndex
+
+    @property
+    def disk_bytes(self) -> int:
+        """Total on-disk size of the artifact directory."""
+        return sum(f.stat().st_size for f in self.path.iterdir() if f.is_file())
+
+
+def save_artifact(
+    result: AlignmentResult,
+    config: Optional[HTCConfig] = None,
+    *,
+    root: Union[str, Path],
+    name: str = "alignment",
+    index_k: int = DEFAULT_INDEX_K,
+    reverse_k: Optional[int] = None,
+    chunk_rows: Optional[int] = None,
+    metadata: Optional[Dict[str, object]] = None,
+    overwrite: bool = False,
+) -> ArtifactInfo:
+    """Persist ``result`` (+ optional ``config``) as one artifact directory.
+
+    Parameters
+    ----------
+    result:
+        The alignment to persist; every array field plus the derived sparse
+        top-``index_k`` index is stored.
+    config:
+        The :class:`HTCConfig` that produced the result (stored in the
+        manifest, restored by :func:`load_artifact`).
+    root:
+        Store root directory (created if missing).
+    name:
+        Human-readable prefix of the artifact id.
+    index_k, reverse_k, chunk_rows:
+        Sparse-index parameters (see :func:`repro.serve.index.build_index`).
+    metadata:
+        Free-form JSON-safe annotations (dataset, method, suite job id ...).
+    overwrite:
+        Re-write the directory if the identical artifact already exists
+        (by default an existing artifact is returned as-is — the store is
+        content-addressed, so same id means same bytes).
+    """
+    root = Path(root)
+    index = build_index(
+        result.alignment_matrix,
+        k=index_k,
+        reverse_k=reverse_k,
+        chunk_rows=chunk_rows,
+    )
+    arrays = dict(result.array_payload())
+    arrays.update(index.array_payload())
+
+    array_meta = {
+        key: {
+            "shape": [int(x) for x in value.shape],
+            "dtype": str(value.dtype),
+            "sha256": _array_sha256(value),
+        }
+        for key, value in sorted(arrays.items())
+    }
+    config_payload = serialize_config(config) if config is not None else None
+    scalars = result.scalar_payload()
+    content_hash = spec_hash(
+        {
+            "schema_version": SCHEMA_VERSION,
+            "name": name,
+            "config": config_payload,
+            "scalars": scalars,
+            "arrays": array_meta,
+            "index": index.meta_payload(),
+        }
+    )
+    artifact_id = f"{_slug(name)}-{content_hash[:12]}"
+    path = root / artifact_id
+
+    manifest: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "artifact_id": artifact_id,
+        "name": name,
+        "content_hash": content_hash,
+        "created_unix": time.time(),
+        "config": config_payload,
+        "scalars": scalars,
+        "arrays": array_meta,
+        "index": index.meta_payload(),
+        "metadata": dict(metadata or {}),
+    }
+
+    if path.is_dir() and not overwrite:
+        try:
+            existing = _read_manifest(path)
+        except (ArtifactNotFoundError, ArtifactIntegrityError):
+            existing = None  # half-written/corrupt directory: rewrite it
+        if existing is not None and existing.get("content_hash") == content_hash:
+            # Same content: skip the array rewrite, but refresh the metadata
+            # annotations (they are outside the content hash by design).
+            if existing.get("metadata") != manifest["metadata"]:
+                existing["metadata"] = manifest["metadata"]
+                tmp = path / (MANIFEST_FILE + ".tmp")
+                tmp.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+                os.replace(tmp, path / MANIFEST_FILE)
+            return ArtifactInfo(
+                artifact_id=artifact_id, path=path, manifest=existing, index=index
+            )
+    path.mkdir(parents=True, exist_ok=True)
+    # Atomic-ish write: arrays first, manifest last via tmp+rename, so a
+    # directory with a manifest always has its arrays in place.
+    with open(path / ARRAYS_FILE, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    tmp = path / (MANIFEST_FILE + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path / MANIFEST_FILE)
+    return ArtifactInfo(
+        artifact_id=artifact_id, path=path, manifest=manifest, index=index
+    )
+
+
+def export_result(
+    raw_result: object,
+    config: Optional[HTCConfig] = None,
+    *,
+    root: Union[str, Path],
+    name: str = "alignment",
+    index_k: int = DEFAULT_INDEX_K,
+    metadata: Optional[Dict[str, object]] = None,
+) -> ArtifactInfo:
+    """Persist any aligner output — the shared CLI/runner export path.
+
+    Accepts a full :class:`AlignmentResult` or a bare score matrix (what the
+    paper baselines return); bare matrices are wrapped into a minimal result
+    so every method's output is servable under the same artifact contract.
+    """
+    if not isinstance(raw_result, AlignmentResult):
+        raw_result = AlignmentResult(
+            alignment_matrix=np.asarray(raw_result, dtype=np.float64)
+        )
+    return save_artifact(
+        raw_result,
+        config,
+        root=root,
+        name=name,
+        index_k=index_k,
+        metadata=metadata,
+    )
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+@dataclass
+class Artifact:
+    """A loaded artifact: manifest + index, and (in full mode) the result."""
+
+    artifact_id: str
+    path: Path
+    manifest: Dict[str, object]
+    index: SparseTopKIndex
+    result: Optional[AlignmentResult] = None
+    config: Optional[HTCConfig] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def shape(self):
+        """Dense matrix shape served by this artifact."""
+        return self.index.shape
+
+
+def _read_manifest(path: Path) -> Dict[str, object]:
+    manifest_path = path / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise ArtifactNotFoundError(f"no manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ArtifactIntegrityError(
+            f"corrupt manifest {manifest_path}: {error}"
+        ) from error
+    version = manifest.get("schema_version", [0, 0])
+    if not isinstance(version, list) or not version:
+        raise ArtifactSchemaError(f"malformed schema_version in {manifest_path}")
+    if int(version[0]) > SCHEMA_VERSION[0]:
+        raise ArtifactSchemaError(
+            f"artifact {manifest_path} uses schema {version}, newer than the "
+            f"supported {SCHEMA_VERSION}; upgrade repro to read it"
+        )
+    return manifest
+
+
+def _verify_array(
+    name: str, array: np.ndarray, array_meta: Dict[str, object], path: Path
+) -> None:
+    recorded = array_meta.get(name)
+    if recorded is None:
+        return
+    actual = _array_sha256(array)
+    if actual != recorded.get("sha256"):
+        raise ArtifactIntegrityError(
+            f"array {name!r} in {path} fails its integrity check "
+            f"(expected sha256 {recorded.get('sha256')}, got {actual})"
+        )
+
+
+def load_artifact(
+    root: Union[str, Path],
+    artifact_id: str,
+    *,
+    mode: str = "full",
+    verify: bool = True,
+) -> Artifact:
+    """Load one artifact from the store.
+
+    Parameters
+    ----------
+    root, artifact_id:
+        Store root and the id returned by :func:`save_artifact`.
+    mode:
+        ``"full"`` rebuilds the complete :class:`AlignmentResult`;
+        ``"serve"`` loads only the sparse index arrays — ``O(n·k)`` resident
+        memory, the mode :class:`repro.serve.service.AlignmentService` uses.
+    verify:
+        Check every loaded array against its recorded SHA-256.
+    """
+    if mode not in ("full", "serve"):
+        raise ValueError(f'mode must be "full" or "serve", got {mode!r}')
+    path = Path(root) / artifact_id
+    if not path.is_dir():
+        raise ArtifactNotFoundError(
+            f"artifact {artifact_id!r} not found under {root}"
+        )
+    manifest = _read_manifest(path)
+    arrays_path = path / ARRAYS_FILE
+    if not arrays_path.is_file():
+        raise ArtifactIntegrityError(f"artifact {artifact_id!r} lost {ARRAYS_FILE}")
+    array_meta = dict(manifest.get("arrays", {}))
+
+    with np.load(arrays_path) as archive:
+        wanted = (
+            [n for n in _INDEX_ARRAYS if n in archive.files]
+            if mode == "serve"
+            else list(archive.files)
+        )
+        # "serve" mode with no stored index falls back to the dense matrix.
+        if mode == "serve" and len(wanted) < len(_INDEX_ARRAYS):
+            wanted = list(archive.files)
+        arrays = {name: archive[name] for name in wanted}
+    if verify:
+        for name, array in arrays.items():
+            _verify_array(name, array, array_meta, path)
+
+    index_meta = manifest.get("index")
+    try:
+        index = SparseTopKIndex.from_payload(arrays, index_meta or {})
+    except (KeyError, ValueError, TypeError):
+        # Forward compatibility: no (or unreadable) stored index — rebuild
+        # from the dense matrix, which save_artifact always records.
+        if "alignment_matrix" not in arrays:
+            raise ArtifactIntegrityError(
+                f"artifact {artifact_id!r} has neither index arrays nor a "
+                "dense alignment matrix"
+            ) from None
+        k = int(dict(index_meta or {}).get("k", DEFAULT_INDEX_K))
+        reverse_k = int(dict(index_meta or {}).get("reverse_k", k))
+        index = build_index(arrays["alignment_matrix"], k=k, reverse_k=reverse_k)
+
+    result = None
+    config = None
+    if mode == "full":
+        result_arrays = {
+            name: array
+            for name, array in arrays.items()
+            if name not in _INDEX_ARRAYS
+        }
+        result = AlignmentResult.from_payload(
+            result_arrays, dict(manifest.get("scalars", {}))
+        )
+        if manifest.get("config") is not None:
+            config = deserialize_config(manifest["config"])
+    return Artifact(
+        artifact_id=artifact_id,
+        path=path,
+        manifest=manifest,
+        index=index,
+        result=result,
+        config=config,
+        metadata=dict(manifest.get("metadata", {})),
+    )
+
+
+def list_artifacts(root: Union[str, Path]) -> List[Dict[str, object]]:
+    """Manifests of every artifact under ``root``, sorted by id.
+
+    Directories without a readable manifest are skipped (e.g. a crashed
+    half-written export, which never got its manifest renamed into place).
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    manifests = []
+    for entry in sorted(root.iterdir()):
+        if not entry.is_dir():
+            continue
+        try:
+            manifests.append(_read_manifest(entry))
+        except (ArtifactNotFoundError, ArtifactIntegrityError, ArtifactSchemaError):
+            continue
+    return manifests
+
+
+def canonical_manifest(manifest: Dict[str, object]) -> str:
+    """Stable JSON rendering of a manifest (used in tests and debugging)."""
+    return canonical_json(manifest)
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactInfo",
+    "Artifact",
+    "ArtifactNotFoundError",
+    "ArtifactSchemaError",
+    "ArtifactIntegrityError",
+    "serialize_config",
+    "deserialize_config",
+    "save_artifact",
+    "export_result",
+    "load_artifact",
+    "list_artifacts",
+    "canonical_manifest",
+]

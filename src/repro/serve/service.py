@@ -1,0 +1,287 @@
+"""Thread-safe, multi-artifact alignment query service.
+
+:class:`AlignmentService` hosts any number of loaded artifacts (keyed by
+artifact id) and answers batched ``match`` / ``top_k`` / ``reverse_match``
+queries from their sparse indexes — ``O(k)`` per query, no dense matrix in
+memory.  A bounded LRU cache short-circuits repeated single-node lookups
+(real query traffic is heavily skewed towards hub nodes), and hit/miss/
+latency counters expose the service's health.
+
+All public methods are safe to call from many threads: mutable state (the
+registry, cache and counters) is guarded by one lock, while the index
+arrays themselves are immutable and read without locking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.serve.artifacts import Artifact, load_artifact
+from repro.serve.index import SparseTopKIndex
+
+#: Default maximum number of cached (artifact, op, node, k) entries.
+DEFAULT_CACHE_SIZE = 4096
+
+
+class AlignmentService:
+    """Serves matching queries for one or more persisted alignments.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum number of cached query results (``0`` disables caching).
+
+    Examples
+    --------
+    >>> service = AlignmentService()
+    >>> aid = service.load("artifacts", "douban-ab12cd34ef56")  # doctest: +SKIP
+    >>> service.match(aid, [0, 1, 2])                           # doctest: +SKIP
+    array([17, 4, 9])
+    """
+
+    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self._indexes: Dict[str, SparseTopKIndex] = {}
+        self._artifacts: Dict[str, Artifact] = {}
+        #: Bumped whenever an artifact id is (re)bound; lets in-flight
+        #: queries detect that their index snapshot went stale before they
+        #: write answers into the cache.
+        self._generations: Dict[str, int] = {}
+        self._cache: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._cache_size = cache_size
+        self._lock = threading.RLock()
+        self._counters: Dict[str, float] = {
+            "queries": 0,
+            "batches": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "total_latency_s": 0.0,
+        }
+        self._op_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # artifact hosting
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        root: Union[str, Path],
+        artifact_id: str,
+        *,
+        mode: str = "serve",
+        verify: bool = True,
+    ) -> str:
+        """Load an artifact from a store and host it; returns its id."""
+        artifact = load_artifact(root, artifact_id, mode=mode, verify=verify)
+        return self.add(artifact)
+
+    def add(self, artifact: Artifact) -> str:
+        """Host an already-loaded artifact (replaces a same-id artifact)."""
+        with self._lock:
+            self._artifacts[artifact.artifact_id] = artifact
+            self._indexes[artifact.artifact_id] = artifact.index
+            self._bump_generation(artifact.artifact_id)
+        return artifact.artifact_id
+
+    def add_index(self, artifact_id: str, index: SparseTopKIndex) -> str:
+        """Host a bare index under ``artifact_id`` (no manifest attached)."""
+        with self._lock:
+            self._artifacts.pop(artifact_id, None)
+            self._indexes[artifact_id] = index
+            self._bump_generation(artifact_id)
+        return artifact_id
+
+    def unload(self, artifact_id: str) -> None:
+        """Drop an artifact and its cached queries."""
+        with self._lock:
+            self._indexes.pop(artifact_id, None)
+            self._artifacts.pop(artifact_id, None)
+            self._bump_generation(artifact_id)
+
+    def _bump_generation(self, artifact_id: str) -> None:
+        """Invalidate cached and in-flight answers (lock must be held)."""
+        self._generations[artifact_id] = self._generations.get(artifact_id, 0) + 1
+        self._evict_artifact_cache(artifact_id)
+
+    def artifact_ids(self) -> List[str]:
+        """Ids currently hosted, sorted."""
+        with self._lock:
+            return sorted(self._indexes)
+
+    def describe(self, artifact_id: str) -> Dict[str, object]:
+        """Shape/index/manifest summary of one hosted artifact."""
+        with self._lock:
+            index = self._get_index(artifact_id)
+            artifact = self._artifacts.get(artifact_id)
+        info: Dict[str, object] = {
+            "artifact_id": artifact_id,
+            "shape": [int(index.shape[0]), int(index.shape[1])],
+            "index_k": int(index.k),
+            "reverse_k": int(index.reverse_k),
+            "index_bytes": index.nbytes,
+            "dense_bytes": index.dense_nbytes,
+            "compression_ratio": round(index.compression_ratio, 2),
+        }
+        if artifact is not None:
+            info["metadata"] = dict(artifact.metadata)
+            info["name"] = artifact.manifest.get("name")
+        return info
+
+    def _get_index(self, artifact_id: str) -> SparseTopKIndex:
+        try:
+            return self._indexes[artifact_id]
+        except KeyError:
+            raise KeyError(
+                f"artifact {artifact_id!r} is not hosted; "
+                f"loaded: {sorted(self._indexes)}"
+            ) from None
+
+    def _evict_artifact_cache(self, artifact_id: str) -> None:
+        """Drop cached entries of one artifact (lock must be held)."""
+        stale = [key for key in self._cache if key[0] == artifact_id]
+        for key in stale:
+            del self._cache[key]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def match(self, artifact_id: str, source_nodes) -> np.ndarray:
+        """Best target per source node (batched argmax)."""
+        return self._query(artifact_id, "match", source_nodes, None)
+
+    def top_k(self, artifact_id: str, source_nodes, k: int) -> np.ndarray:
+        """Top-``k`` targets per source node, best first."""
+        return self._query(artifact_id, "top_k", source_nodes, int(k))
+
+    def reverse_match(self, artifact_id: str, target_nodes) -> np.ndarray:
+        """Best source per target node (argmax over columns)."""
+        return self._query(artifact_id, "reverse_match", target_nodes, None)
+
+    def reverse_top_k(self, artifact_id: str, target_nodes, k: int) -> np.ndarray:
+        """Top-``k`` sources per target node, best first."""
+        return self._query(artifact_id, "reverse_top_k", target_nodes, int(k))
+
+    def _run_op(
+        self, index: SparseTopKIndex, op: str, nodes: np.ndarray, k: Optional[int]
+    ) -> np.ndarray:
+        if op == "match":
+            return index.match(nodes)
+        if op == "top_k":
+            return index.top_k(nodes, k)
+        if op == "reverse_match":
+            return index.reverse_match(nodes)
+        if op == "reverse_top_k":
+            return index.reverse_top_k(nodes, k)
+        raise ValueError(f"unknown op {op!r}")  # pragma: no cover
+
+    def _query(
+        self, artifact_id: str, op: str, nodes, k: Optional[int]
+    ) -> np.ndarray:
+        started = time.perf_counter()
+        with self._lock:
+            index = self._get_index(artifact_id)
+            generation = self._generations.get(artifact_id, 0)
+        node_array = np.atleast_1d(np.asarray(nodes, dtype=np.intp))
+
+        if self._cache_size == 0 or node_array.size == 0:
+            answers = self._run_op(index, op, node_array, k)
+            self._note(op, node_array.size, hits=0, started=started)
+            return answers
+
+        # Per-node cache probe; misses are answered in one vectorized call.
+        keys = [(artifact_id, op, int(node), k) for node in node_array]
+        cached: Dict[int, object] = {}
+        with self._lock:
+            for position, key in enumerate(keys):
+                if key in self._cache:
+                    self._cache.move_to_end(key)
+                    cached[position] = self._cache[key]
+        miss_positions = [p for p in range(node_array.size) if p not in cached]
+        if miss_positions:
+            miss_answers = self._run_op(
+                index, op, node_array[miss_positions], k
+            )
+            with self._lock:
+                # Answers computed from a replaced/unloaded index must not
+                # poison the cache of its successor.
+                insert = self._generations.get(artifact_id, 0) == generation
+                for row, position in enumerate(miss_positions):
+                    # Copy row slices so cache entries do not pin the whole
+                    # batch answer array.
+                    value = np.array(miss_answers[row], copy=True)
+                    value.setflags(write=False)
+                    if insert:
+                        self._cache[keys[position]] = value
+                        self._cache.move_to_end(keys[position])
+                    cached[position] = value
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        answers = np.stack([np.asarray(cached[p]) for p in range(node_array.size)])
+        if op in ("match", "reverse_match"):
+            answers = answers.reshape(node_array.size)
+        self._note(op, node_array.size, hits=len(keys) - len(miss_positions),
+                   started=started)
+        return answers
+
+    def _note(self, op: str, n_nodes: int, hits: int, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._counters["queries"] += n_nodes
+            self._counters["batches"] += 1
+            self._counters["cache_hits"] += hits
+            self._counters["cache_misses"] += n_nodes - hits
+            self._counters["total_latency_s"] += elapsed
+            self._op_counts[op] = self._op_counts.get(op, 0) + n_nodes
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Counters snapshot: queries, hit rate, latency, hosted artifacts."""
+        with self._lock:
+            counters = dict(self._counters)
+            op_counts = dict(self._op_counts)
+            hosted = sorted(self._indexes)
+            cache_entries = len(self._cache)
+        queries = counters["queries"]
+        batches = counters["batches"]
+        return {
+            "artifacts": hosted,
+            "queries": int(queries),
+            "batches": int(batches),
+            "cache_entries": cache_entries,
+            "cache_hits": int(counters["cache_hits"]),
+            "cache_misses": int(counters["cache_misses"]),
+            "hit_rate": (counters["cache_hits"] / queries) if queries else 0.0,
+            "total_latency_s": counters["total_latency_s"],
+            "avg_batch_latency_ms": (
+                1000.0 * counters["total_latency_s"] / batches if batches else 0.0
+            ),
+            "queries_per_second": (
+                queries / counters["total_latency_s"]
+                if counters["total_latency_s"] > 0
+                else 0.0
+            ),
+            "per_op": op_counts,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the counters (hosted artifacts and cache are kept)."""
+        with self._lock:
+            for key in self._counters:
+                self._counters[key] = 0 if key != "total_latency_s" else 0.0
+            self._op_counts.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            hosted = len(self._indexes)
+        return f"AlignmentService(artifacts={hosted}, cache_size={self._cache_size})"
+
+
+__all__ = ["AlignmentService", "DEFAULT_CACHE_SIZE"]

@@ -109,21 +109,50 @@ def top_k_indices(score_matrix: np.ndarray, k: int) -> np.ndarray:
 
     Returns an ``(n_source, k)`` integer array.  ``k`` is clipped to the
     number of targets.
+
+    Rows are ordered by the total order *(score descending, column index
+    ascending)* — ties always resolve to the lowest column.  A total order
+    makes the result prefix-consistent: ``top_k_indices(scores, j)`` equals
+    ``top_k_indices(scores, k)[:, :j]`` for every ``j <= k``, which is what
+    lets :class:`repro.serve.index.SparseTopKIndex` answer any ``k' <= k``
+    query from a stored top-``k`` prefix bit-identically to the dense path.
     """
     scores = np.asarray(score_matrix, dtype=np.float64)
     if scores.ndim != 2:
         raise ValueError("score_matrix must be 2-D")
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    n_target = scores.shape[1]
+    n_source, n_target = scores.shape
     k = min(k, n_target)
     if k == 0:
-        return np.empty((scores.shape[0], 0), dtype=np.intp)
-    # argpartition for efficiency, then sort the k candidates per row.
-    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
-    row_indices = np.arange(scores.shape[0])[:, None]
-    order = np.argsort(-scores[row_indices, part], axis=1)
-    return part[row_indices, order]
+        return np.empty((n_source, 0), dtype=np.intp)
+    if k == n_target or n_source == 0:
+        # A stable sort of the negated scores yields exactly the
+        # (score desc, column asc) total order.
+        order = np.argsort(-scores, axis=1, kind="stable")
+        return order[:, :k].astype(np.intp, copy=False)
+    # Fast path: argpartition to k candidates (O(n_t + k log k) per row
+    # instead of a full O(n_t log n_t) sort), then order the candidates by
+    # (score desc, column asc).  lexsort keys are least-significant first.
+    part = np.argpartition(-scores, k - 1, axis=1)[:, :k].astype(np.intp)
+    rows = np.arange(n_source)[:, None]
+    part_scores = scores[rows, part]
+    order = np.lexsort((part, -part_scores), axis=1)
+    result = np.take_along_axis(part, order, axis=1)
+    # The partition picks an *arbitrary* candidate set when values tie
+    # across its boundary, which can drop a lower-column tied entry; those
+    # rows (and only those) need the full total-order sort.  A boundary tie
+    # exists iff the row has more entries equal to the k-th selected value
+    # than were selected.
+    kth_value = part_scores.min(axis=1)
+    selected_at_kth = (part_scores == kth_value[:, None]).sum(axis=1)
+    total_at_kth = (scores == kth_value[:, None]).sum(axis=1)
+    tie_rows = total_at_kth > selected_at_kth
+    if np.any(tie_rows):
+        result[tie_rows] = np.argsort(
+            -scores[tie_rows], axis=1, kind="stable"
+        )[:, :k]
+    return result
 
 
 def alignment_accuracy(

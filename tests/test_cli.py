@@ -98,3 +98,128 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Robustness on econ" in output
         assert "0.300" in output
+
+
+class TestServeCommands:
+    FAST = ["--epochs", "4", "--dim", "8", "--orbits", "2", "--neighbors", "5"]
+
+    def _export(self, tmp_path, capsys, extra=()):
+        code = main(
+            [
+                "export-artifact",
+                "--dataset",
+                "tiny",
+                "--method",
+                "HTC",
+                "--artifact-root",
+                str(tmp_path / "arts"),
+                "--index-k",
+                "6",
+                *self.FAST,
+                *extra,
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        artifact_id = next(
+            line.split()[-1]
+            for line in output.splitlines()
+            if line.startswith("artifact id:")
+        )
+        return artifact_id
+
+    def test_export_and_query_roundtrip(self, tmp_path, capsys):
+        artifact_id = self._export(tmp_path, capsys)
+        code = main(
+            [
+                "query",
+                "--artifact-root",
+                str(tmp_path / "arts"),
+                "--artifact",
+                artifact_id,
+                "--op",
+                "top-k",
+                "--k",
+                "3",
+                "--nodes",
+                "0",
+                "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        lines = [line for line in output.splitlines() if line.strip()]
+        assert len(lines) == 2
+        assert lines[0].startswith("0:")
+        assert len(lines[0].split(":")[1].split()) == 3
+
+    def test_query_match_op(self, tmp_path, capsys):
+        artifact_id = self._export(tmp_path, capsys)
+        code = main(
+            [
+                "query",
+                "--artifact-root",
+                str(tmp_path / "arts"),
+                "--artifact",
+                artifact_id,
+                "--op",
+                "reverse-match",
+                "--nodes",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("2: ")
+
+    def test_serve_stats_lists_artifacts(self, tmp_path, capsys):
+        artifact_id = self._export(tmp_path, capsys)
+        code = main(["serve-stats", "--artifact-root", str(tmp_path / "arts")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert artifact_id in output
+        assert "tiny" in output
+
+    def test_serve_stats_empty_store(self, tmp_path, capsys):
+        code = main(["serve-stats", "--artifact-root", str(tmp_path / "arts")])
+        assert code == 1
+        assert "no artifacts" in capsys.readouterr().out
+
+    def test_export_baseline_matrix_is_wrapped(self, tmp_path, capsys):
+        code = main(
+            [
+                "export-artifact",
+                "--dataset",
+                "tiny",
+                "--method",
+                "Degree",
+                "--artifact-root",
+                str(tmp_path / "arts"),
+                *self.FAST,
+            ]
+        )
+        assert code == 0
+        assert "artifact id:" in capsys.readouterr().out
+
+
+class TestDatasetArguments:
+    def test_dir_dataset_accepted_by_parser(self):
+        args = build_parser().parse_args(
+            ["align", "--dataset", "dir:/some/path"]
+        )
+        assert args.dataset == "dir:/some/path"
+
+    def test_align_on_dir_dataset(self, tmp_path, capsys):
+        from repro.datasets import load_dataset, save_pair
+
+        save_pair(load_dataset("tiny", random_state=0), tmp_path / "exported")
+        code = main(
+            [
+                "align",
+                "--dataset",
+                f"dir:{tmp_path / 'exported'}",
+                "--method",
+                "Degree",
+            ]
+        )
+        assert code == 0
+        assert "p@1" in capsys.readouterr().out

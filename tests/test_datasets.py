@@ -5,7 +5,14 @@ import pytest
 
 from repro.datasets.io import load_pair, save_pair
 from repro.datasets.pair import GraphPair
-from repro.datasets.registry import available_datasets, load_dataset, register_dataset
+from repro.datasets.registry import (
+    available_datasets,
+    available_prefixes,
+    is_known_dataset,
+    load_dataset,
+    register_dataset,
+    register_prefix,
+)
 from repro.datasets.synthetic import (
     allmovie_imdb,
     bn,
@@ -203,3 +210,155 @@ class TestIO:
         pair = douban(scale=0.3, random_state=0)
         loaded = load_pair(save_pair(pair, tmp_path / "douban"))
         np.testing.assert_array_equal(loaded.ground_truth, pair.ground_truth)
+
+
+def _write_pair_files(
+    directory,
+    source_edges="3\n0 1\n1 2\n",
+    target_edges="3\n0 1\n",
+    ground_truth="0 0\n1 1\n",
+):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "source.edges").write_text(source_edges)
+    (directory / "target.edges").write_text(target_edges)
+    (directory / "ground_truth.txt").write_text(ground_truth)
+    return directory
+
+
+class TestIOHardening:
+    def test_isolated_nodes_roundtrip(self, tmp_path):
+        """Node ids absent from the edge lines survive a save/load cycle."""
+        directory = _write_pair_files(
+            tmp_path / "iso",
+            source_edges="5\n0 1\n",  # nodes 2..4 isolated
+            target_edges="4\n2 3\n",
+            ground_truth="0 2\n4 3\n",
+        )
+        loaded = load_pair(directory)
+        assert loaded.source.n_nodes == 5
+        assert loaded.target.n_nodes == 4
+        assert loaded.ground_truth[4] == 3
+
+    def test_empty_edge_list_roundtrip(self, tmp_path):
+        directory = _write_pair_files(
+            tmp_path / "empty",
+            source_edges="3\n",
+            target_edges="3\n",
+            ground_truth="",
+        )
+        loaded = load_pair(directory)
+        assert loaded.source.n_edges == 0
+        assert (loaded.ground_truth == -1).all()
+
+    def test_empty_edge_file_names_file(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "bad", source_edges="")
+        with pytest.raises(ValueError, match="source.edges.*empty edge file"):
+            load_pair(directory)
+
+    def test_non_integer_header_names_file_and_line(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "bad", source_edges="lots\n0 1\n")
+        with pytest.raises(ValueError, match=r"source\.edges:1.*node\s*count"):
+            load_pair(directory)
+
+    def test_malformed_edge_line_names_file_and_line(self, tmp_path):
+        directory = _write_pair_files(
+            tmp_path / "bad", source_edges="3\n0 1\n0 1 2\n"
+        )
+        with pytest.raises(ValueError, match=r"source\.edges:3"):
+            load_pair(directory)
+
+    def test_non_integer_edge_tokens(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "bad", target_edges="3\na b\n")
+        with pytest.raises(ValueError, match=r"target\.edges:2.*integers"):
+            load_pair(directory)
+
+    def test_out_of_range_edge(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "bad", source_edges="2\n0 5\n")
+        with pytest.raises(ValueError, match=r"source\.edges:2.*outside"):
+            load_pair(directory)
+
+    def test_malformed_ground_truth_line(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "bad", ground_truth="0\n")
+        with pytest.raises(ValueError, match=r"ground_truth\.txt:1"):
+            load_pair(directory)
+
+    def test_ground_truth_out_of_range_source(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "bad", ground_truth="9 0\n")
+        with pytest.raises(ValueError, match=r"ground_truth\.txt:1.*source id 9"):
+            load_pair(directory)
+
+    def test_ground_truth_out_of_range_target(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "bad", ground_truth="0 9\n")
+        with pytest.raises(ValueError, match=r"ground_truth\.txt:1.*target id 9"):
+            load_pair(directory)
+
+    def test_attribute_row_mismatch(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "bad")
+        np.save(directory / "source.attrs.npy", np.zeros((7, 2)))
+        with pytest.raises(ValueError, match="7 rows.*3 nodes"):
+            load_pair(directory)
+
+    def test_missing_edge_file(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "bad")
+        (directory / "target.edges").unlink()
+        with pytest.raises(FileNotFoundError, match="target.edges"):
+            load_pair(directory)
+
+    def test_missing_ground_truth_means_no_anchors(self, tmp_path):
+        directory = _write_pair_files(tmp_path / "ok")
+        (directory / "ground_truth.txt").unlink()
+        loaded = load_pair(directory)
+        assert (loaded.ground_truth == -1).all()
+
+
+class TestDirectoryRegistry:
+    def test_dir_prefix_loads_saved_pair(self, tmp_path):
+        pair = tiny_pair(random_state=0)
+        directory = save_pair(pair, tmp_path / "exported")
+        loaded = load_dataset(f"dir:{directory}")
+        assert loaded.source.n_nodes == pair.source.n_nodes
+        np.testing.assert_array_equal(loaded.ground_truth, pair.ground_truth)
+
+    def test_dir_prefix_listed(self):
+        assert "dir" in available_prefixes()
+
+    def test_is_known_dataset(self, tmp_path):
+        assert is_known_dataset("tiny")
+        assert is_known_dataset("dir:/some/path")
+        assert not is_known_dataset("dir:")
+        assert not is_known_dataset("imaginary")
+
+    def test_dir_prefix_rejects_parameters(self, tmp_path):
+        directory = save_pair(tiny_pair(random_state=0), tmp_path / "exported")
+        with pytest.raises(TypeError, match="no parameters"):
+            load_dataset(f"dir:{directory}", scale=0.5)
+
+    def test_dir_prefix_missing_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(f"dir:{tmp_path / 'nope'}")
+
+    def test_register_custom_prefix(self, tmp_path):
+        register_prefix("tinyx", lambda rest, **kw: tiny_pair(random_state=int(rest)))
+        try:
+            loaded = load_dataset("tinyx:3")
+            assert loaded.source.n_nodes > 0
+        finally:
+            from repro.datasets import registry
+
+            registry._PREFIXES.pop("tinyx", None)
+
+    def test_register_prefix_validation(self):
+        with pytest.raises(TypeError):
+            register_prefix("bad", 42)
+        with pytest.raises(ValueError):
+            register_prefix("a:b", tiny_pair)
+
+    def test_plain_name_with_colon_still_plain(self):
+        # A registered name containing a colon must win over prefix parsing.
+        register_dataset("weird:name", lambda **kw: tiny_pair(random_state=0))
+        try:
+            assert load_dataset("weird:name").source.n_nodes > 0
+        finally:
+            from repro.datasets import registry
+
+            registry._REGISTRY.pop("weird:name", None)

@@ -21,6 +21,27 @@ from repro.runner.executor import execute_job
 FAST_CONFIG = {"epochs": 3, "embedding_dim": 8, "orbit_cache": "off"}
 
 
+def _sleepy_resolver(name, config):
+    """Method resolver whose jobs block until the SIGALRM budget fires.
+
+    The timeout tests used to rely on a real HTC job out-running a 0.3 s
+    budget, which made them hostage to machine speed; a sleeping aligner
+    exercises the same timeout machinery deterministically (``time.sleep``
+    is interrupted by the alarm signal).
+    """
+    import time as _time
+
+    class _Sleeper:
+        name = "Sleeper"
+        requires_supervision = False
+
+        def align(self, pair, train_anchors=None):
+            _time.sleep(30.0)
+            return np.zeros((pair.source.n_nodes, pair.target.n_nodes))
+
+    return _Sleeper()
+
+
 def _tiny_suite(name="unit", methods=("Degree", "Attribute"), **overrides):
     payload = dict(
         name=name,
@@ -119,14 +140,12 @@ class TestExecuteJob:
         assert "NoSuchMethod" in artifact["error"]
 
     def test_timeout_is_captured(self):
-        job = JobSpec.create(
-            "econ",
-            "HTC",
-            dataset_params={"scale": 0.3},
-            config={"epochs": 80, "embedding_dim": 32, "orbit_cache": "off"},
+        job = JobSpec.create("tiny", "HTC", config=dict(FAST_CONFIG))
+        artifact = execute_job(
+            job.to_dict(), timeout=0.3, method_resolver=_sleepy_resolver
         )
-        artifact = execute_job(job.to_dict(), timeout=0.3)
         assert artifact["status"] == "timeout"
+        assert "0.3" in artifact["error"]
 
 
 class TestRunSuite:
@@ -187,12 +206,14 @@ class TestRunSuite:
     def test_timeout_artifact_status(self, tmp_path):
         suite = SuiteSpec(
             name="slow",
-            datasets=[{"name": "econ", "params": {"scale": 0.3}}],
+            datasets=["tiny"],
             methods=["HTC"],
-            config={"epochs": 80, "embedding_dim": 32, "orbit_cache": "off"},
+            config=dict(FAST_CONFIG),
             timeout=0.3,
         )
-        report = run_suite(suite, tmp_path, jobs=1)
+        report = run_suite(
+            suite, tmp_path, jobs=1, method_resolver=_sleepy_resolver
+        )
         assert report.counts == {"timeout": 1}
 
     def test_report_table_renders(self, tmp_path):
@@ -201,6 +222,81 @@ class TestRunSuite:
         text = report.table()
         assert "Degree" in text and "tiny" in text and "status" in text
         assert "done" in text
+
+
+class TestEmitArtifacts:
+    def test_jobs_emit_serve_artifacts(self, tmp_path):
+        suite = _tiny_suite(name="emit", methods=("Degree",))
+        report = run_suite(suite, tmp_path, emit_artifacts=True)
+        (artifact,) = report.artifacts
+        assert artifact["status"] == "done"
+        emitted = artifact["serve_artifact"]
+        assert emitted["artifact_id"]
+        serve_dir = tmp_path / "emit" / "serve_artifacts"
+        assert (serve_dir / emitted["artifact_id"] / "manifest.json").is_file()
+
+    def test_emitted_artifact_answers_parity_queries(self, tmp_path):
+        from repro.core import HTCConfig
+        from repro.datasets import load_dataset
+        from repro.eval.protocol import run_method
+        from repro.runner.executor import resolve_method
+        from repro.serve import AlignmentService, load_artifact
+        from repro.similarity.matching import top_k_indices
+
+        suite = _tiny_suite(name="emit-parity", methods=("HTC",))
+        report = run_suite(suite, tmp_path, emit_artifacts=True)
+        (artifact,) = report.artifacts
+        emitted = artifact["serve_artifact"]["artifact_id"]
+        store = tmp_path / "emit-parity" / "serve_artifacts"
+
+        # Recompute the same job inline to get the dense reference.
+        job = suite.jobs()[0]
+        config = HTCConfig(**{**dict(job.config), "random_state": job.seed})
+        method = resolve_method(job.method, config)
+        pair = load_dataset(job.dataset, **dict(job.dataset_params))
+        run_method(method, pair, random_state=job.seed)
+        dense = method.last_result_.alignment_matrix
+
+        loaded = load_artifact(store, emitted)
+        np.testing.assert_array_equal(loaded.result.alignment_matrix, dense)
+        service = AlignmentService()
+        service.add(loaded)
+        rows = np.arange(dense.shape[0])
+        np.testing.assert_array_equal(
+            service.match(emitted, rows), dense.argmax(axis=1)
+        )
+        np.testing.assert_array_equal(
+            service.top_k(emitted, rows, 5), top_k_indices(dense, 5)
+        )
+
+    def test_manifest_records_artifact_ids(self, tmp_path):
+        suite = _tiny_suite(name="emit-manifest", methods=("Degree",))
+        run_suite(suite, tmp_path, emit_artifacts=True)
+        manifest = json.loads(
+            (tmp_path / "emit-manifest" / "manifest.json").read_text()
+        )
+        assert manifest["emit_artifacts"] is True
+        assert all("serve_artifact" in entry for entry in manifest["jobs"])
+
+    def test_no_emission_by_default(self, tmp_path):
+        suite = _tiny_suite(name="no-emit", methods=("Degree",))
+        report = run_suite(suite, tmp_path)
+        (artifact,) = report.artifacts
+        assert "serve_artifact" not in artifact
+        assert not (tmp_path / "no-emit" / "serve_artifacts").exists()
+
+    def test_resume_reruns_cached_jobs_missing_artifacts(self, tmp_path):
+        """--resume --emit-artifacts must not skip jobs that never emitted."""
+        suite = _tiny_suite(name="late-emit", methods=("Degree",))
+        run_suite(suite, tmp_path)  # first run: no artifacts
+        report = run_suite(suite, tmp_path, resume=True, emit_artifacts=True)
+        (artifact,) = report.artifacts
+        assert artifact["status"] == "done"  # re-ran, not cached
+        assert "serve_artifact" in artifact
+        # a second resume now finds the artifact and skips
+        report = run_suite(suite, tmp_path, resume=True, emit_artifacts=True)
+        (artifact,) = report.artifacts
+        assert artifact["status"] == "cached"
 
 
 class TestAggregation:
