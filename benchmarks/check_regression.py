@@ -1,0 +1,212 @@
+"""Compare fresh benchmark JSONs against committed baselines (the CI gate).
+
+Each ``BENCH_*.json`` at the repo root is a committed baseline.  CI copies
+them aside, re-runs the quick benchmark modes, and calls this script to
+compare the fresh numbers against the baselines:
+
+* **boolean invariants** (parity with dense, bit-identical kernels, suite
+  completion, accuracy-within-tolerance) must hold in the fresh run,
+  unconditionally;
+* **ratio metrics** (memory reductions, speedups) must clear an absolute
+  floor, unconditionally;
+* **relative checks** — no timing more than ``2x`` slower and no
+  rate/ratio less than half the baseline — apply only when the fresh run
+  and the baseline were produced by the same benchmark mode (both quick or
+  both full, detected from the recorded ``command``), because absolute
+  numbers are not comparable across problem sizes.  The nightly full-mode
+  run compares apples to apples; quick-mode PR runs still enforce every
+  invariant and floor.
+
+Exit status 0 = no regression, 1 = at least one failed check.
+
+Run with::
+
+    python benchmarks/check_regression.py --baseline-dir baselines --fresh-dir .
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Relative slowdown that fails the gate (fresh > 2x baseline seconds).
+#: The committed baselines are recorded on whatever machine regenerated
+#: them; the 2x margin is deliberately coarse so ordinary hardware
+#: differences between that machine and the CI runner do not trip it —
+#: this catches algorithmic blowups, not percent-level drift.
+MAX_SLOWDOWN = 2.0
+
+#: Relative collapse that fails the gate for rates and ratios
+#: (fresh < 0.5x baseline).
+MAX_COLLAPSE = 0.5
+
+# Check kinds:
+#   "true"  — fresh value must be truthy (always enforced)
+#   "floor" — fresh value must be >= the given floor (always enforced)
+#   "time"  — fresh must be <= MAX_SLOWDOWN * baseline (same mode only)
+#   "rate"  — fresh must be >= MAX_COLLAPSE * baseline (same mode only)
+CHECKS = {
+    "BENCH_orbits.json": [
+        ("results.0.identical", "true", None),
+        ("results.0.speedup_total", "floor", 2.0),
+        ("results.0.backends.numpy.total_s", "time", None),
+    ],
+    "BENCH_runner.json": [
+        ("suite.all_done", "true", None),
+        ("kernel_memory.identical", "true", None),
+        ("kernel_memory.memory_ratio", "floor", 2.0),
+        ("kernel_memory.chunked_s", "time", None),
+        ("greedy_memory.identical", "true", None),
+        ("greedy_memory.memory_ratio", "floor", 5.0),
+        ("greedy_memory.heap_s", "time", None),
+    ],
+    "BENCH_serve.json": [
+        ("parity_with_dense", "true", None),
+        ("compression.memory_ratio", "floor", 10.0),
+        ("queries_per_second.match_batch_qps", "rate", None),
+        ("queries_per_second.topk_batch_qps", "rate", None),
+        ("compression.save_s", "time", None),
+    ],
+    "BENCH_shard.json": [
+        ("within_tolerance", "true", None),
+        ("memory_ratio", "floor", 1.5),
+        # Sharding's wall-clock win is a large-pair property (fixed per-shard
+        # overheads dominate at quick size), so speedup is a same-mode
+        # relative check: the nightly full-size run enforces it.
+        ("speedup", "rate", None),
+        ("sharded.wall_s", "time", None),
+    ],
+}
+
+
+def lookup(payload, dotted_path):
+    """Resolve ``a.b.0.c`` style paths through dicts and lists."""
+    value = payload
+    for part in dotted_path.split("."):
+        if isinstance(value, list):
+            value = value[int(part)]
+        else:
+            value = value[part]
+    return value
+
+
+def same_mode(baseline: dict, fresh: dict) -> bool:
+    """Whether both payloads came from the same benchmark mode."""
+    baseline_cmd = str(baseline.get("command", ""))
+    fresh_cmd = str(fresh.get("command", ""))
+    return ("--quick" in baseline_cmd) == ("--quick" in fresh_cmd)
+
+
+def check_file(name: str, baseline: dict, fresh: dict) -> list:
+    """Run every check for one benchmark file; returns failure strings."""
+    failures = []
+    comparable = same_mode(baseline, fresh)
+    for path, kind, floor in CHECKS[name]:
+        try:
+            fresh_value = lookup(fresh, path)
+        except (KeyError, IndexError, TypeError, ValueError):
+            failures.append(f"{name}:{path}: missing from the fresh run")
+            continue
+        if kind == "true":
+            status = "OK" if fresh_value else "FAIL"
+            if not fresh_value:
+                failures.append(f"{name}:{path}: expected truthy, got {fresh_value!r}")
+            print(f"  [{status}] {path} = {fresh_value!r} (must hold)")
+            continue
+        if kind == "floor":
+            ok = float(fresh_value) >= floor
+            if not ok:
+                failures.append(
+                    f"{name}:{path}: {float(fresh_value):.3g} below floor {floor}"
+                )
+            print(
+                f"  [{'OK' if ok else 'FAIL'}] {path} = "
+                f"{float(fresh_value):.3g} (floor {floor})"
+            )
+            continue
+        # Relative checks need a comparable baseline value.
+        try:
+            baseline_value = float(lookup(baseline, path))
+        except (KeyError, IndexError, TypeError, ValueError):
+            print(f"  [SKIP] {path}: no baseline value")
+            continue
+        if not comparable:
+            print(f"  [SKIP] {path}: baseline ran a different mode")
+            continue
+        fresh_value = float(fresh_value)
+        if kind == "time":
+            ok = fresh_value <= MAX_SLOWDOWN * baseline_value
+            detail = f"{fresh_value:.3g}s vs baseline {baseline_value:.3g}s"
+            if not ok:
+                failures.append(f"{name}:{path}: {detail} (> {MAX_SLOWDOWN}x slowdown)")
+        elif kind == "rate":
+            ok = fresh_value >= MAX_COLLAPSE * baseline_value
+            detail = f"{fresh_value:.3g} vs baseline {baseline_value:.3g}"
+            if not ok:
+                failures.append(
+                    f"{name}:{path}: {detail} (< {MAX_COLLAPSE}x of baseline)"
+                )
+        else:  # pragma: no cover - spec table typo guard
+            raise ValueError(f"unknown check kind {kind!r}")
+        print(f"  [{'OK' if ok else 'FAIL'}] {path}: {detail}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        default="baselines",
+        metavar="DIR",
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        default=".",
+        metavar="DIR",
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--files",
+        nargs="+",
+        default=sorted(CHECKS),
+        choices=sorted(CHECKS),
+        help="benchmark files to compare (default: all known)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+    fresh_dir = Path(args.fresh_dir)
+    failures = []
+    for name in args.files:
+        fresh_path = fresh_dir / name
+        baseline_path = baseline_dir / name
+        print(f"{name}:")
+        if not fresh_path.is_file():
+            failures.append(f"{name}: fresh results missing at {fresh_path}")
+            print(f"  [FAIL] missing fresh results at {fresh_path}")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        baseline = (
+            json.loads(baseline_path.read_text())
+            if baseline_path.is_file()
+            else {}
+        )
+        if not baseline:
+            print("  [note] no committed baseline; floors/invariants only")
+        failures.extend(check_file(name, baseline, fresh))
+
+    print()
+    if failures:
+        print(f"REGRESSION GATE FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,9 @@ Eight sub-commands cover the typical workflows without writing Python:
     List the bundled dataset stand-ins and their statistics.
 ``align``
     Run one method (HTC, an ablation variant, or a baseline) on one dataset
-    and print the paper's metrics.
+    and print the paper's metrics; ``--shards N`` routes HTC through the
+    partition–align–stitch subsystem for pairs beyond the single-shot
+    memory/time envelope.
 ``compare``
     Run HTC plus the baselines on one or more datasets (the Table II layout).
 ``robustness``
@@ -94,6 +96,10 @@ def _load_cli_dataset(name: str, args: argparse.Namespace, seed=None) -> object:
 
 def _config_from_args(args: argparse.Namespace) -> HTCConfig:
     orbits = range(args.orbits) if args.orbits is not None else None
+    kwargs = {}
+    # Only set when given so the HTCConfig default stays the single source.
+    if args.shard_overlap is not None:
+        kwargs["shard_overlap"] = args.shard_overlap
     return HTCConfig(
         orbits=orbits,
         embedding_dim=args.dim,
@@ -103,7 +109,9 @@ def _config_from_args(args: argparse.Namespace) -> HTCConfig:
         orbit_backend=args.orbit_backend,
         orbit_cache=args.orbit_cache,
         score_chunk_size=args.chunk_size,
+        shard_count=args.shards,
         random_state=args.seed,
+        **kwargs,
     )
 
 
@@ -135,6 +143,22 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="ROWS",
         help="stream similarity scoring in row chunks of this size "
         "(bounded memory, bit-identical results; default: dense)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition the pair into N community shards, align each shard "
+        "pair independently and stitch the results (HTC only; bounds "
+        "per-shard memory/time by the shard size; default: single-shot)",
+    )
+    parser.add_argument(
+        "--shard-overlap",
+        type=int,
+        default=None,
+        metavar="HOPS",
+        help="BFS hops of boundary overlap around every shard (default: 1)",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--runs", type=int, default=1, help="repetitions to average over")
@@ -329,7 +353,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         _load_cli_dataset(name, args, seed=index)
         for index, name in enumerate(args.datasets)
     ]
-    methods = [HTCAligner(config)] + [make_baseline(name) for name in PAPER_BASELINES]
+    methods = [resolve_method("HTC", config)]
+    methods += [make_baseline(name) for name in PAPER_BASELINES]
     results = run_comparison(methods, pairs, n_runs=args.runs, random_state=args.seed)
     for pair in pairs:
         rows = [r.as_row() for r in results if r.dataset == pair.name]
@@ -393,6 +418,10 @@ def _suite_from_args(args: argparse.Namespace) -> SuiteSpec:
         config["orbits"] = tuple(range(args.orbits))
     if args.chunk_size is not None:
         config["score_chunk_size"] = args.chunk_size
+    if args.shards is not None:
+        config["shard_count"] = args.shards
+    if args.shard_overlap is not None:
+        config["shard_overlap"] = args.shard_overlap
     return SuiteSpec(
         name=args.name,
         datasets=datasets,

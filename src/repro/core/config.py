@@ -77,6 +77,17 @@ class HTCConfig:
         temporary memory per orbit view (see
         :mod:`repro.similarity.chunked`).  Results are bit-identical either
         way.
+    shard_count:
+        ``None`` (default) aligns the whole pair in one shot.  An integer
+        ``N >= 1`` routes alignment through the partition–align–stitch
+        subsystem (:mod:`repro.shard`): both graphs are partitioned into
+        ``N`` community-consistent shards, shard pairs are aligned
+        independently (bounding per-job memory/time by the shard size), and
+        the results are stitched into one global sparse alignment.
+    shard_overlap:
+        BFS hops of boundary overlap added around every shard (sharded mode
+        only).  Overlapping shards give the stitcher multiple scored
+        opinions about boundary nodes; ``0`` disables the overlap ring.
     diffusion_orders, diffusion_alpha:
         Settings of the diffusion family used when ``topology_mode ==
         "diffusion"``.
@@ -103,6 +114,8 @@ class HTCConfig:
     orbit_backend: str = AUTO_BACKEND
     orbit_cache: Union[bool, str, object] = "memory"
     score_chunk_size: Optional[int] = None
+    shard_count: Optional[int] = None
+    shard_overlap: int = 1
     diffusion_orders: Tuple[int, ...] = (1, 2, 3, 4, 5)
     diffusion_alpha: float = 0.15
     random_state: RandomStateLike = 0
@@ -145,6 +158,14 @@ class HTCConfig:
         if self.score_chunk_size is not None and self.score_chunk_size < 1:
             raise ValueError(
                 f"score_chunk_size must be >= 1 or None, got {self.score_chunk_size}"
+            )
+        if self.shard_count is not None and self.shard_count < 1:
+            raise ValueError(
+                f"shard_count must be >= 1 or None, got {self.shard_count}"
+            )
+        if self.shard_overlap < 0:
+            raise ValueError(
+                f"shard_overlap must be >= 0, got {self.shard_overlap}"
             )
         valid_backends = (AUTO_BACKEND,) + available_backends()
         if self.orbit_backend not in valid_backends:

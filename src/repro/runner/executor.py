@@ -62,13 +62,18 @@ def resolve_method(name: str, config) -> object:
     """Instantiate a method by name: HTC, an ablation variant, or a baseline.
 
     The single source of the method vocabulary, shared by the CLI and the
-    suite runner.
+    suite runner.  An HTC config with ``shard_count`` set routes through the
+    partition–align–stitch subsystem (:mod:`repro.shard`) transparently.
     """
     from repro.baselines import make_baseline
     from repro.core import HTCAligner
     from repro.core.variants import make_variant
 
     if name == "HTC":
+        if getattr(config, "shard_count", None):
+            from repro.shard.executor import ShardedAligner
+
+            return ShardedAligner(config)
         return HTCAligner(config)
     if name in _htc_variant_names():
         return make_variant(name, config)
@@ -100,11 +105,14 @@ def execute_job(
     from repro.datasets import load_dataset
     from repro.eval.protocol import run_method
 
+    from repro import __version__
+
     job = JobSpec.from_dict(job_payload)
     artifact: Dict[str, object] = {
         "job_id": job.job_id,
         "spec": job.to_dict(),
         "spec_hash": job.hash,
+        "repro_version": __version__,
         "status": STATUS_FAILED,
         "result": None,
         "error": None,
@@ -289,6 +297,8 @@ def run_suite(
     serve_dir = str(suite_dir / "serve_artifacts") if emit_artifacts else None
     job_specs = suite.jobs()
 
+    from repro import __version__
+
     started = time.perf_counter()
     artifacts: List[Dict[str, object]] = []
     pending: List[JobSpec] = []
@@ -301,6 +311,18 @@ def run_suite(
             cached = None
         if cached is not None:
             cached = dict(cached)
+            cached_version = cached.get("repro_version")
+            if cached_version != __version__:
+                # Same spec hash, different writer version: the artifact is
+                # still reusable (the spec is what defines the job), but the
+                # user should know results may mix code generations.
+                logger.warning(
+                    "job %s: resuming from an artifact written by repro %s "
+                    "(current %s); spec hash matches, reusing it",
+                    job.job_id,
+                    cached_version or "<unrecorded>",
+                    __version__,
+                )
             cached["status"] = STATUS_CACHED
             artifacts.append(cached)
             if on_job_done is not None:
@@ -357,6 +379,7 @@ def run_suite(
     ordered = [by_id[job.job_id] for job in job_specs if job.job_id in by_id]
     manifest = {
         "suite": suite.to_dict(),
+        "repro_version": __version__,
         "workers": jobs,
         "resume": resume,
         "emit_artifacts": emit_artifacts,

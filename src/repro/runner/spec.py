@@ -27,9 +27,10 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.utils.naming import slugify
 
 
 def canonical_json(payload: object) -> str:
@@ -43,8 +44,7 @@ def spec_hash(payload: object) -> str:
 
 
 def _slug(text: str) -> str:
-    slug = re.sub(r"[^A-Za-z0-9]+", "-", text).strip("-").lower()
-    return slug or "job"
+    return slugify(text, "job")
 
 
 @dataclass(frozen=True)

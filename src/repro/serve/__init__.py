@@ -30,6 +30,7 @@ from repro.serve.artifacts import (
     list_artifacts,
     load_artifact,
     save_artifact,
+    save_index_artifact,
 )
 from repro.serve.index import (
     SparseTopKIndex,
@@ -44,6 +45,7 @@ __all__ = [
     "ArtifactNotFoundError",
     "ArtifactSchemaError",
     "save_artifact",
+    "save_index_artifact",
     "export_result",
     "load_artifact",
     "list_artifacts",

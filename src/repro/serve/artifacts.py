@@ -31,7 +31,6 @@ import dataclasses
 import hashlib
 import json
 import os
-import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,6 +42,7 @@ from repro.core.config import HTCConfig
 from repro.core.result import AlignmentResult
 from repro.runner.spec import canonical_json, spec_hash
 from repro.serve.index import DEFAULT_INDEX_K, SparseTopKIndex, build_index
+from repro.utils.naming import slugify
 
 #: Current artifact schema. Major bumps break readers; the minor component
 #: (the second element) is informational.
@@ -73,8 +73,7 @@ class ArtifactIntegrityError(ValueError):
 
 
 def _slug(text: str) -> str:
-    slug = re.sub(r"[^A-Za-z0-9]+", "-", text).strip("-").lower()
-    return slug or "artifact"
+    return slugify(text, "artifact")
 
 
 def _array_sha256(array: np.ndarray) -> str:
@@ -137,6 +136,61 @@ class ArtifactInfo:
         return sum(f.stat().st_size for f in self.path.iterdir() if f.is_file())
 
 
+def _array_meta(arrays: Dict[str, np.ndarray]) -> Dict[str, Dict[str, object]]:
+    """Per-array shape/dtype/SHA-256 records for a manifest."""
+    return {
+        key: {
+            "shape": [int(x) for x in value.shape],
+            "dtype": str(value.dtype),
+            "sha256": _array_sha256(value),
+        }
+        for key, value in sorted(arrays.items())
+    }
+
+
+def _write_artifact(
+    root: Path,
+    manifest: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    index: SparseTopKIndex,
+    overwrite: bool,
+) -> ArtifactInfo:
+    """Shared persistence tail of the save paths.
+
+    An existing identical-content artifact skips the array rewrite but
+    still refreshes the metadata annotations (they are outside the content
+    hash by design); otherwise arrays are written first and the manifest
+    last via tmp+rename, so a directory with a manifest always has its
+    arrays in place.
+    """
+    artifact_id = str(manifest["artifact_id"])
+    content_hash = manifest["content_hash"]
+    path = root / artifact_id
+    if path.is_dir() and not overwrite:
+        try:
+            existing = _read_manifest(path)
+        except (ArtifactNotFoundError, ArtifactIntegrityError):
+            existing = None  # half-written/corrupt directory: rewrite it
+        if existing is not None and existing.get("content_hash") == content_hash:
+            if existing.get("metadata") != manifest["metadata"]:
+                existing["metadata"] = manifest["metadata"]
+                tmp = path / (MANIFEST_FILE + ".tmp")
+                tmp.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+                os.replace(tmp, path / MANIFEST_FILE)
+            return ArtifactInfo(
+                artifact_id=artifact_id, path=path, manifest=existing, index=index
+            )
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / ARRAYS_FILE, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    tmp = path / (MANIFEST_FILE + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path / MANIFEST_FILE)
+    return ArtifactInfo(
+        artifact_id=artifact_id, path=path, manifest=manifest, index=index
+    )
+
+
 def save_artifact(
     result: AlignmentResult,
     config: Optional[HTCConfig] = None,
@@ -182,14 +236,7 @@ def save_artifact(
     arrays = dict(result.array_payload())
     arrays.update(index.array_payload())
 
-    array_meta = {
-        key: {
-            "shape": [int(x) for x in value.shape],
-            "dtype": str(value.dtype),
-            "sha256": _array_sha256(value),
-        }
-        for key, value in sorted(arrays.items())
-    }
+    array_meta = _array_meta(arrays)
     config_payload = serialize_config(config) if config is not None else None
     scalars = result.scalar_payload()
     content_hash = spec_hash(
@@ -202,12 +249,9 @@ def save_artifact(
             "index": index.meta_payload(),
         }
     )
-    artifact_id = f"{_slug(name)}-{content_hash[:12]}"
-    path = root / artifact_id
-
     manifest: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
-        "artifact_id": artifact_id,
+        "artifact_id": f"{_slug(name)}-{content_hash[:12]}",
         "name": name,
         "content_hash": content_hash,
         "created_unix": time.time(),
@@ -217,34 +261,56 @@ def save_artifact(
         "index": index.meta_payload(),
         "metadata": dict(metadata or {}),
     }
+    return _write_artifact(root, manifest, arrays, index, overwrite)
 
-    if path.is_dir() and not overwrite:
-        try:
-            existing = _read_manifest(path)
-        except (ArtifactNotFoundError, ArtifactIntegrityError):
-            existing = None  # half-written/corrupt directory: rewrite it
-        if existing is not None and existing.get("content_hash") == content_hash:
-            # Same content: skip the array rewrite, but refresh the metadata
-            # annotations (they are outside the content hash by design).
-            if existing.get("metadata") != manifest["metadata"]:
-                existing["metadata"] = manifest["metadata"]
-                tmp = path / (MANIFEST_FILE + ".tmp")
-                tmp.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
-                os.replace(tmp, path / MANIFEST_FILE)
-            return ArtifactInfo(
-                artifact_id=artifact_id, path=path, manifest=existing, index=index
-            )
-    path.mkdir(parents=True, exist_ok=True)
-    # Atomic-ish write: arrays first, manifest last via tmp+rename, so a
-    # directory with a manifest always has its arrays in place.
-    with open(path / ARRAYS_FILE, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
-    tmp = path / (MANIFEST_FILE + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, path / MANIFEST_FILE)
-    return ArtifactInfo(
-        artifact_id=artifact_id, path=path, manifest=manifest, index=index
+
+def save_index_artifact(
+    index: SparseTopKIndex,
+    config: Optional[HTCConfig] = None,
+    *,
+    root: Union[str, Path],
+    name: str = "stitched",
+    metadata: Optional[Dict[str, object]] = None,
+    overwrite: bool = False,
+) -> ArtifactInfo:
+    """Persist a bare sparse index as an **index-only** artifact.
+
+    This is the export path for stitched sharded alignments
+    (:mod:`repro.shard`), whose whole point is never materialising the dense
+    ``(n_s, n_t)`` matrix: the artifact stores only the ``O(n·k)`` index
+    arrays.  Index-only artifacts load in ``"serve"`` mode (and through
+    :class:`~repro.serve.service.AlignmentService`) exactly like full ones;
+    ``"full"`` mode raises :class:`ArtifactSchemaError` because there is no
+    dense matrix to rebuild a result from.
+    """
+    root = Path(root)
+    arrays = dict(index.array_payload())
+    array_meta = _array_meta(arrays)
+    config_payload = serialize_config(config) if config is not None else None
+    content_hash = spec_hash(
+        {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "index",
+            "name": name,
+            "config": config_payload,
+            "arrays": array_meta,
+            "index": index.meta_payload(),
+        }
     )
+    manifest: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "index",
+        "artifact_id": f"{_slug(name)}-{content_hash[:12]}",
+        "name": name,
+        "content_hash": content_hash,
+        "created_unix": time.time(),
+        "config": config_payload,
+        "scalars": {},
+        "arrays": array_meta,
+        "index": index.meta_payload(),
+        "metadata": dict(metadata or {}),
+    }
+    return _write_artifact(root, manifest, arrays, index, overwrite)
 
 
 def export_result(
@@ -402,6 +468,11 @@ def load_artifact(
             for name, array in arrays.items()
             if name not in _INDEX_ARRAYS
         }
+        if "alignment_matrix" not in result_arrays:
+            raise ArtifactSchemaError(
+                f"artifact {artifact_id!r} is index-only (no dense alignment "
+                'matrix is stored); load it with mode="serve"'
+            )
         result = AlignmentResult.from_payload(
             result_arrays, dict(manifest.get("scalars", {}))
         )
@@ -453,6 +524,7 @@ __all__ = [
     "serialize_config",
     "deserialize_config",
     "save_artifact",
+    "save_index_artifact",
     "export_result",
     "load_artifact",
     "list_artifacts",

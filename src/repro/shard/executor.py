@@ -1,0 +1,308 @@
+"""Execute a shard plan through the existing ``repro.runner`` machinery.
+
+:func:`align_sharded` is the orchestration layer of the partition–align–
+stitch pipeline: it builds a :class:`~repro.shard.partition.ShardPlan`,
+persists every shard sub-pair as an on-disk ``dir:`` dataset, expands a
+one-method :class:`~repro.runner.spec.SuiteSpec` over those datasets and
+runs it with :func:`~repro.runner.executor.run_suite` — inheriting the
+process pool, spec-hashed per-job JSON artifacts, per-job timeouts and
+``resume`` semantics for free.  Per-shard alignments come back as serve
+artifacts (``emit_artifacts``), are loaded in full mode and stitched into a
+global sparse alignment.
+
+Give ``workdir`` a stable path to make the whole sharded alignment
+resumable: a re-run with ``resume=True`` regenerates the (deterministic)
+shard datasets, skips every shard job whose artifact already matches its
+spec hash, and only re-aligns what changed.
+
+:class:`ShardedAligner` adapts the pipeline to the standard aligner
+protocol (``align(pair) -> AlignmentResult``) so ``run-suite``, ``align``
+and ``export-artifact`` can run sharded HTC by simply setting
+``HTCConfig.shard_count``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import HTCConfig
+from repro.core.result import AlignmentResult
+from repro.datasets.io import save_pair
+from repro.datasets.pair import GraphPair
+from repro.runner.executor import STATUS_CACHED, STATUS_DONE, run_suite
+from repro.runner.spec import SuiteSpec
+from repro.serve.artifacts import load_artifact
+from repro.serve.index import DEFAULT_INDEX_K
+from repro.shard.partition import build_shard_plan
+from repro.shard.stitch import (
+    StitchedAlignment,
+    refine_stitched,
+    stitch_alignments,
+)
+from repro.utils.logging import get_logger
+from repro.utils.naming import slugify
+
+logger = get_logger(__name__)
+
+
+def _shard_config_overrides(config: HTCConfig) -> Dict[str, object]:
+    """The per-shard job config: the full config minus the shard knobs.
+
+    Stripping ``shard_count`` is what stops the per-shard jobs from
+    recursing into another sharded run.
+    """
+    overrides: Dict[str, object] = {}
+    for spec in dataclasses.fields(config):
+        if spec.name in ("shard_count", "shard_overlap", "extra"):
+            continue
+        value = getattr(config, spec.name)
+        if spec.name == "orbit_cache" and not isinstance(value, (bool, str)):
+            value = "memory"
+        if spec.name == "random_state" and not isinstance(value, (int, type(None))):
+            value = 0
+        if isinstance(value, tuple):
+            value = list(value)
+        overrides[spec.name] = value
+    return overrides
+
+
+def align_sharded(
+    pair: GraphPair,
+    config: Optional[HTCConfig] = None,
+    *,
+    shard_count: Optional[int] = None,
+    shard_overlap: Optional[int] = None,
+    method: str = "HTC",
+    jobs: int = 1,
+    workdir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    index_k: int = DEFAULT_INDEX_K,
+    reverse_k: Optional[int] = None,
+    refine_iterations: int = 3,
+    refine_alpha: float = 0.2,
+) -> StitchedAlignment:
+    """Partition ``pair``, align every shard pair, stitch the results.
+
+    Parameters
+    ----------
+    pair, config:
+        The alignment task and the (per-shard) HTC configuration.
+    shard_count, shard_overlap:
+        Override ``config.shard_count`` / ``config.shard_overlap``; the
+        count is required in one of the two places.
+    method:
+        Per-shard method name (anything
+        :func:`repro.runner.executor.resolve_method` accepts).
+    jobs:
+        Worker processes for the shard suite (``1`` = inline).
+    workdir:
+        Directory for shard datasets, job artifacts and serve artifacts.
+        ``None`` uses a temporary directory removed afterwards; pass a
+        stable path (plus ``resume=True``) to make interrupted sharded
+        alignments restartable at per-shard granularity.
+    resume, timeout:
+        Forwarded to :func:`~repro.runner.executor.run_suite`.
+    index_k, reverse_k:
+        Width of the stitched sparse index.
+    refine_iterations, refine_alpha:
+        Seed-consistency refinement passes over the stitched candidates
+        (``0`` disables; see :func:`repro.shard.stitch.refine_stitched`).
+    """
+    config = config if config is not None else HTCConfig()
+    n_shards = shard_count if shard_count is not None else config.shard_count
+    if n_shards is None:
+        raise ValueError(
+            "shard_count must be given (argument or HTCConfig.shard_count)"
+        )
+    overlap = shard_overlap if shard_overlap is not None else config.shard_overlap
+    seed = config.random_state if isinstance(config.random_state, int) else 0
+
+    started = time.perf_counter()
+    plan = build_shard_plan(pair, n_shards, overlap=overlap, seed=seed)
+    partition_s = time.perf_counter() - started
+
+    cleanup = workdir is None
+    workdir = Path(
+        tempfile.mkdtemp(prefix="repro_shard_") if workdir is None else workdir
+    )
+    try:
+        pairs_dir = workdir / "pairs"
+        dataset_names: List[str] = []
+        for shard_pair in plan.pairs:
+            shard_dir = pairs_dir / f"shard_{shard_pair.index:03d}"
+            save_pair(shard_pair.subpair(pair), shard_dir)
+            dataset_names.append(f"dir:{shard_dir}")
+
+        suite = SuiteSpec(
+            name=f"{slugify(pair.name, 'pair')}-shards{plan.n_shards}",
+            datasets=dataset_names,
+            methods=[method],
+            config=_shard_config_overrides(config),
+            n_runs=1,
+            seed=seed,
+            timeout=timeout,
+        )
+        started = time.perf_counter()
+        report = run_suite(
+            suite,
+            workdir / "runs",
+            jobs=jobs,
+            resume=resume,
+            timeout=timeout,
+            emit_artifacts=True,
+        )
+        align_s = time.perf_counter() - started
+
+        by_dataset = {str(a["spec"]["dataset"]): a for a in report.artifacts}
+        store = report.suite_dir / "serve_artifacts"
+        matrices = []
+        shard_stats: List[Dict[str, object]] = []
+        failures = []
+        for shard_pair, dataset in zip(plan.pairs, dataset_names):
+            artifact = by_dataset.get(dataset)
+            status = artifact.get("status") if artifact else "missing"
+            stats: Dict[str, object] = {
+                "shard": shard_pair.index,
+                "job_id": artifact.get("job_id") if artifact else None,
+                "status": status,
+                "wall_seconds": artifact.get("wall_seconds", 0.0) if artifact else 0.0,
+                "source_nodes": int(shard_pair.source_nodes.size),
+                "target_nodes": int(shard_pair.target_nodes.size),
+            }
+            if artifact and status in (STATUS_DONE, STATUS_CACHED):
+                serve_info = artifact.get("serve_artifact") or {}
+                try:
+                    loaded = load_artifact(
+                        store, str(serve_info.get("artifact_id")), mode="full"
+                    )
+                except (OSError, ValueError) as error:
+                    # Covers a pruned serve_artifacts directory, a cached
+                    # job without the serve_artifact key, and corrupt or
+                    # schema-incompatible artifacts — report it with the
+                    # other shard failures instead of aborting mid-loop.
+                    stats["status"] = f"{status} (serve artifact unreadable)"
+                    failures.append(
+                        f"shard {shard_pair.index} ({stats['job_id']}): "
+                        f"serve artifact unreadable — {error}"
+                    )
+                    shard_stats.append(stats)
+                    continue
+                matrices.append(loaded.result.alignment_matrix)
+                result = artifact.get("result") or {}
+                stats["metrics"] = dict(result.get("metrics", {}))
+            else:
+                failures.append(
+                    f"shard {shard_pair.index} ({stats['job_id']}): {status}"
+                    + (f" — {artifact.get('error')}" if artifact else "")
+                )
+            shard_stats.append(stats)
+        if failures:
+            raise RuntimeError(
+                "sharded alignment incomplete; failed shard jobs:\n  "
+                + "\n  ".join(failures)
+            )
+
+        started = time.perf_counter()
+        stitched = stitch_alignments(
+            plan,
+            matrices,
+            pair.source.n_nodes,
+            pair.target.n_nodes,
+            k=index_k,
+            reverse_k=reverse_k,
+        )
+        stitch_s = time.perf_counter() - started
+
+        refine_s = 0.0
+        if refine_iterations > 0:
+            started = time.perf_counter()
+            stitched = refine_stitched(
+                stitched,
+                pair.source,
+                pair.target,
+                iterations=refine_iterations,
+                alpha=refine_alpha,
+            )
+            refine_s = time.perf_counter() - started
+
+        stitched.stage_times = {
+            "partition": partition_s,
+            "shard_alignment": align_s,
+            "stitch": stitch_s,
+            "refine": refine_s,
+        }
+        stitched.shard_stats = shard_stats
+        logger.info(
+            "sharded %s: %d shards, %d conflicts resolved, %.2fs total",
+            pair.name,
+            stitched.n_shards,
+            stitched.conflicts_resolved,
+            stitched.total_time,
+        )
+        return stitched
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+class ShardedAligner:
+    """Standard-protocol adapter running HTC via partition–align–stitch.
+
+    ``align`` returns a densified :class:`AlignmentResult` (rankings
+    faithful up to ``index_k`` per row) so the eval protocol, ``run-suite``
+    and artifact export work unchanged; the sparse stitched alignment of the
+    last run is kept on :attr:`last_stitched_` for memory-light serving.
+    """
+
+    name = "HTC"
+    requires_supervision = False
+
+    def __init__(
+        self,
+        config: Optional[HTCConfig] = None,
+        *,
+        jobs: int = 1,
+        workdir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        index_k: int = DEFAULT_INDEX_K,
+        refine_iterations: int = 3,
+    ) -> None:
+        config = config if config is not None else HTCConfig()
+        if config.shard_count is None:
+            raise ValueError("ShardedAligner needs HTCConfig.shard_count set")
+        self.config = config
+        self.jobs = jobs
+        self.workdir = workdir
+        self.resume = resume
+        self.index_k = index_k
+        self.refine_iterations = refine_iterations
+        self.last_stitched_: Optional[StitchedAlignment] = None
+
+    def align(self, pair: GraphPair, train_anchors=None) -> AlignmentResult:
+        """Align ``pair`` sharded; ``train_anchors`` accepted and ignored."""
+        stitched = align_sharded(
+            pair,
+            self.config,
+            jobs=self.jobs,
+            workdir=self.workdir,
+            resume=self.resume,
+            index_k=self.index_k,
+            refine_iterations=self.refine_iterations,
+        )
+        self.last_stitched_ = stitched
+        return stitched.to_result()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedAligner(shards={self.config.shard_count}, "
+            f"overlap={self.config.shard_overlap}, jobs={self.jobs})"
+        )
+
+
+__all__ = ["align_sharded", "ShardedAligner"]

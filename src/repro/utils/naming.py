@@ -1,0 +1,23 @@
+"""Filesystem-safe name normalisation shared by the artifact-writing layers.
+
+Job ids (``runner.spec``), artifact ids (``serve.artifacts``) and shard
+suite names (``shard.executor``) all embed user-supplied names in directory
+names; they must normalise identically so the stores stay predictable.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+def slugify(text: str, fallback: str) -> str:
+    """Lower-case ``text`` with every non-alphanumeric run collapsed to ``-``.
+
+    ``fallback`` is returned when nothing survives (empty or all-symbol
+    input) — callers pick a noun matching what they are naming.
+    """
+    slug = re.sub(r"[^A-Za-z0-9]+", "-", text).strip("-").lower()
+    return slug or fallback
+
+
+__all__ = ["slugify"]

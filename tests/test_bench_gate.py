@@ -1,0 +1,145 @@
+"""Tests for the benchmark regression gate (``benchmarks/check_regression.py``)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+SHARD_PAYLOAD = {
+    "command": "python benchmarks/bench_shard.py --quick",
+    "within_tolerance": True,
+    "memory_ratio": 4.0,
+    "speedup": 2.0,
+    "sharded": {"wall_s": 3.0},
+}
+
+
+def _write(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+class TestLookup:
+    def test_nested_dicts_and_lists(self):
+        payload = {"a": [{"b": {"c": 7}}]}
+        assert check_regression.lookup(payload, "a.0.b.c") == 7
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            check_regression.lookup({}, "nope")
+
+
+class TestSameMode:
+    def test_matching_quick_flags(self):
+        quick = {"command": "python bench.py --quick"}
+        full = {"command": "python bench.py"}
+        assert check_regression.same_mode(quick, dict(quick))
+        assert check_regression.same_mode(full, dict(full))
+        assert not check_regression.same_mode(quick, full)
+
+
+class TestGate:
+    def test_identical_runs_pass(self, tmp_path, capsys):
+        _write(tmp_path / "baselines", "BENCH_shard.json", SHARD_PAYLOAD)
+        _write(tmp_path / "fresh", "BENCH_shard.json", SHARD_PAYLOAD)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_shard.json",
+            ]
+        )
+        assert code == 0
+        assert "regression gate passed" in capsys.readouterr().out
+
+    def test_broken_invariant_fails(self, tmp_path):
+        bad = dict(SHARD_PAYLOAD, within_tolerance=False)
+        _write(tmp_path / "baselines", "BENCH_shard.json", SHARD_PAYLOAD)
+        _write(tmp_path / "fresh", "BENCH_shard.json", bad)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_shard.json",
+            ]
+        )
+        assert code == 1
+
+    def test_ratio_floor_always_enforced(self, tmp_path):
+        bad = dict(SHARD_PAYLOAD, memory_ratio=1.0)  # below the 1.5 floor
+        _write(tmp_path / "baselines", "BENCH_shard.json", SHARD_PAYLOAD)
+        _write(tmp_path / "fresh", "BENCH_shard.json", bad)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_shard.json",
+            ]
+        )
+        assert code == 1
+
+    def test_slowdown_fails_in_same_mode(self, tmp_path, capsys):
+        slow = dict(SHARD_PAYLOAD, sharded={"wall_s": 30.0})
+        _write(tmp_path / "baselines", "BENCH_shard.json", SHARD_PAYLOAD)
+        _write(tmp_path / "fresh", "BENCH_shard.json", slow)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_shard.json",
+            ]
+        )
+        assert code == 1
+        assert "slowdown" in capsys.readouterr().out
+
+    def test_cross_mode_skips_relative_checks(self, tmp_path, capsys):
+        full_baseline = dict(
+            SHARD_PAYLOAD,
+            command="python benchmarks/bench_shard.py",
+            sharded={"wall_s": 0.001},  # would fail the 2x rule if compared
+        )
+        _write(tmp_path / "baselines", "BENCH_shard.json", full_baseline)
+        _write(tmp_path / "fresh", "BENCH_shard.json", SHARD_PAYLOAD)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_shard.json",
+            ]
+        )
+        assert code == 0
+        assert "different mode" in capsys.readouterr().out
+
+    def test_missing_fresh_results_fail(self, tmp_path):
+        _write(tmp_path / "baselines", "BENCH_shard.json", SHARD_PAYLOAD)
+        (tmp_path / "fresh").mkdir()
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_shard.json",
+            ]
+        )
+        assert code == 1
+
+    def test_missing_baseline_is_floors_only(self, tmp_path, capsys):
+        (tmp_path / "baselines").mkdir()
+        _write(tmp_path / "fresh", "BENCH_shard.json", SHARD_PAYLOAD)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_shard.json",
+            ]
+        )
+        assert code == 0
+        assert "no committed baseline" in capsys.readouterr().out

@@ -1,0 +1,222 @@
+"""End-to-end tests for sharded alignment through the runner machinery."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import HTCConfig
+from repro.datasets.synthetic import tiny_pair
+from repro.eval.protocol import run_method
+from repro.runner import SuiteSpec, resolve_method, run_suite
+from repro.serve import AlignmentService, save_index_artifact
+from repro.shard import ShardedAligner, align_sharded
+
+FAST = dict(epochs=3, embedding_dim=8, orbit_cache="off", random_state=0)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return tiny_pair(n_nodes=50, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return HTCConfig(**FAST)
+
+
+@pytest.fixture(scope="module")
+def stitched(pair, fast_config):
+    return align_sharded(pair, fast_config, shard_count=2, refine_iterations=1)
+
+
+class TestAlignSharded:
+    def test_shape_and_coverage(self, pair, stitched):
+        assert stitched.shape == (pair.source.n_nodes, pair.target.n_nodes)
+        # every source node belongs to a core shard, so every row has a match
+        matches = stitched.match(np.arange(pair.source.n_nodes))
+        assert np.all(matches >= 0)
+
+    def test_stage_times_and_shard_stats(self, stitched):
+        assert set(stitched.stage_times) == {
+            "partition",
+            "shard_alignment",
+            "stitch",
+            "refine",
+        }
+        assert len(stitched.shard_stats) == 2
+        assert all(s["status"] == "done" for s in stitched.shard_stats)
+        assert all("p@1" in s["metrics"] for s in stitched.shard_stats)
+
+    def test_deterministic_across_runs(self, pair, fast_config, stitched):
+        again = align_sharded(
+            pair, fast_config, shard_count=2, refine_iterations=1
+        )
+        assert np.array_equal(again.index.indices, stitched.index.indices)
+        assert np.array_equal(again.index.scores, stitched.index.scores)
+
+    def test_requires_a_shard_count(self, pair, fast_config):
+        with pytest.raises(ValueError, match="shard_count"):
+            align_sharded(pair, fast_config)
+
+    def test_resume_reuses_shard_artifacts(self, pair, fast_config, tmp_path):
+        first = align_sharded(
+            pair,
+            fast_config,
+            shard_count=2,
+            workdir=tmp_path,
+            resume=True,
+            refine_iterations=0,
+        )
+        assert [s["status"] for s in first.shard_stats] == ["done", "done"]
+        second = align_sharded(
+            pair,
+            fast_config,
+            shard_count=2,
+            workdir=tmp_path,
+            resume=True,
+            refine_iterations=0,
+        )
+        assert [s["status"] for s in second.shard_stats] == ["cached", "cached"]
+        assert np.array_equal(first.index.indices, second.index.indices)
+        assert np.array_equal(first.index.scores, second.index.scores)
+
+    def test_accuracy_not_far_from_single_shot(self, pair, fast_config, stitched):
+        from repro.core import HTCAligner
+
+        single = HTCAligner(fast_config).align(pair)
+        p1_single = float(
+            (single.alignment_matrix.argmax(axis=1) == pair.ground_truth).mean()
+        )
+        p1_sharded = float(
+            (stitched.match(np.arange(pair.source.n_nodes)) == pair.ground_truth)
+            .mean()
+        )
+        assert p1_sharded >= p1_single - 0.25
+
+
+class TestShardedAligner:
+    def test_resolve_method_routes_on_shard_count(self):
+        config = HTCConfig(shard_count=2, **FAST)
+        assert isinstance(resolve_method("HTC", config), ShardedAligner)
+        from repro.core import HTCAligner
+
+        assert isinstance(resolve_method("HTC", HTCConfig(**FAST)), HTCAligner)
+
+    def test_rejects_config_without_shard_count(self):
+        with pytest.raises(ValueError, match="shard_count"):
+            ShardedAligner(HTCConfig(**FAST))
+
+    def test_run_method_protocol(self, pair):
+        aligner = ShardedAligner(HTCConfig(shard_count=2, **FAST))
+        outcome = run_method(aligner, pair)
+        assert outcome.method == "HTC"
+        assert 0.0 <= outcome.metrics["p@1"] <= 1.0
+        assert aligner.last_stitched_ is not None
+
+    def test_run_suite_with_sharded_config(self, tmp_path):
+        suite = SuiteSpec(
+            name="sharded-suite",
+            datasets=[{"name": "tiny", "params": {"n_nodes": 50}}],
+            methods=["HTC"],
+            config=dict(shard_count=2, **FAST),
+        )
+        report = run_suite(suite, tmp_path)
+        assert report.counts == {"done": 1}
+        artifact = report.artifacts[0]
+        assert artifact["result"]["metrics"]["p@1"] >= 0.0
+
+
+class TestServingStitched:
+    def test_stitched_index_is_servable(self, stitched, tmp_path):
+        config = HTCConfig(shard_count=2, **FAST)
+        info = save_index_artifact(
+            stitched.index,
+            config,
+            root=tmp_path,
+            name="tiny-stitched",
+            metadata={"sharded": True},
+        )
+        service = AlignmentService()
+        aid = service.load(tmp_path, info.artifact_id)
+        nodes = np.arange(10)
+        assert np.array_equal(service.match(aid, nodes), stitched.match(nodes))
+        assert np.array_equal(
+            service.top_k(aid, nodes, 3), stitched.top_k(nodes, 3)
+        )
+
+
+    def test_resave_refreshes_metadata(self, stitched, tmp_path):
+        first = save_index_artifact(
+            stitched.index, root=tmp_path, name="meta", metadata={"run": 1}
+        )
+        second = save_index_artifact(
+            stitched.index, root=tmp_path, name="meta", metadata={"run": 2}
+        )
+        assert second.artifact_id == first.artifact_id  # content-addressed
+        assert second.manifest["metadata"] == {"run": 2}
+
+
+class TestCLISharded:
+    def test_align_with_shards_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "align",
+                "--dataset",
+                "tiny",
+                "--shards",
+                "2",
+                "--epochs",
+                "3",
+                "--dim",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HTC on tiny" in out
+        assert "p@1" in out
+
+
+class TestResumeVersionWarning:
+    def test_version_recorded_in_artifacts_and_manifest(self, tmp_path):
+        suite = SuiteSpec(
+            name="versioned", datasets=["tiny"], methods=["Degree"]
+        )
+        report = run_suite(suite, tmp_path)
+        assert report.artifacts[0]["repro_version"] == repro.__version__
+        manifest = json.loads(report.manifest_path.read_text())
+        assert manifest["repro_version"] == repro.__version__
+
+    def test_resume_warns_on_version_mismatch(self, tmp_path, caplog):
+        suite = SuiteSpec(
+            name="versioned", datasets=["tiny"], methods=["Degree"]
+        )
+        report = run_suite(suite, tmp_path)
+        artifact_path = (
+            report.suite_dir / "jobs" / f"{report.artifacts[0]['job_id']}.json"
+        )
+        payload = json.loads(artifact_path.read_text())
+        payload["repro_version"] = "0.0.1"
+        artifact_path.write_text(json.dumps(payload))
+
+        with caplog.at_level("WARNING", logger="repro.runner.executor"):
+            resumed = run_suite(suite, tmp_path, resume=True)
+        assert resumed.counts == {"cached": 1}  # reused, not silently skipped
+        messages = [r.message for r in caplog.records]
+        assert any(
+            "0.0.1" in m and repro.__version__ in m for m in messages
+        ), messages
+
+    def test_resume_same_version_does_not_warn(self, tmp_path, caplog):
+        suite = SuiteSpec(
+            name="versioned", datasets=["tiny"], methods=["Degree"]
+        )
+        run_suite(suite, tmp_path)
+        with caplog.at_level("WARNING", logger="repro.runner.executor"):
+            resumed = run_suite(suite, tmp_path, resume=True)
+        assert resumed.counts == {"cached": 1}
+        assert not caplog.records

@@ -1,0 +1,182 @@
+"""Tests for the seeded graph partitioner and cross-graph shard matching."""
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import tiny_pair
+from repro.shard.partition import (
+    build_shard_plan,
+    expand_with_overlap,
+    match_partitions,
+    partition_graph,
+    shard_signature,
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return tiny_pair(n_nodes=60, random_state=0)
+
+
+def _partition_digest(partition) -> str:
+    digest = hashlib.sha256()
+    digest.update(partition.labels.astype(np.int64).tobytes())
+    digest.update(partition.seeds.astype(np.int64).tobytes())
+    for shard in partition.shards:
+        digest.update(shard.astype(np.int64).tobytes())
+    return digest.hexdigest()
+
+
+class TestPartitionGraph:
+    def test_covers_every_node_exactly_once(self, pair):
+        partition = partition_graph(pair.source, 4, seed=0)
+        combined = np.concatenate(partition.shards)
+        assert np.array_equal(np.sort(combined), np.arange(pair.source.n_nodes))
+
+    def test_labels_match_shards(self, pair):
+        partition = partition_graph(pair.source, 3, seed=0)
+        for shard_id, nodes in enumerate(partition.shards):
+            assert np.all(partition.labels[nodes] == shard_id)
+
+    def test_every_shard_contains_its_seed(self, pair):
+        partition = partition_graph(pair.source, 4, seed=0)
+        for shard_id, seed_node in enumerate(partition.seeds):
+            assert partition.labels[seed_node] == shard_id
+
+    def test_single_part_is_whole_graph(self, pair):
+        partition = partition_graph(pair.source, 1, seed=0)
+        assert partition.n_parts == 1
+        assert np.array_equal(partition.shards[0], np.arange(pair.source.n_nodes))
+
+    def test_n_parts_clipped_to_n_nodes(self, pair):
+        n = pair.source.n_nodes
+        partition = partition_graph(pair.source, n + 50, seed=0)
+        assert partition.n_parts == n
+
+    def test_rejects_bad_n_parts(self, pair):
+        with pytest.raises(ValueError, match="n_parts"):
+            partition_graph(pair.source, 0)
+
+    def test_same_seed_identical_in_process(self, pair):
+        a = partition_graph(pair.source, 3, seed=7)
+        b = partition_graph(pair.source, 3, seed=7)
+        assert _partition_digest(a) == _partition_digest(b)
+
+    def test_same_seed_identical_across_processes(self, pair):
+        """The resume machinery needs bit-identical shards in any process."""
+        script = (
+            "import hashlib, numpy as np\n"
+            "from repro.datasets.synthetic import tiny_pair\n"
+            "from repro.shard.partition import partition_graph\n"
+            "pair = tiny_pair(n_nodes=60, random_state=0)\n"
+            "p = partition_graph(pair.source, 3, seed=7)\n"
+            "d = hashlib.sha256()\n"
+            "d.update(p.labels.astype(np.int64).tobytes())\n"
+            "d.update(p.seeds.astype(np.int64).tobytes())\n"
+            "for s in p.shards:\n"
+            "    d.update(s.astype(np.int64).tobytes())\n"
+            "print(d.hexdigest())\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src
+        digests = set()
+        for _ in range(2):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+        assert digests.pop() == _partition_digest(
+            partition_graph(pair.source, 3, seed=7)
+        )
+
+
+class TestOverlapExpansion:
+    def test_zero_hops_is_sorted_core(self, pair):
+        core = np.array([5, 2, 9])
+        assert np.array_equal(
+            expand_with_overlap(pair.source, core, 0), np.array([2, 5, 9])
+        )
+
+    def test_expansion_is_superset_of_core(self, pair):
+        partition = partition_graph(pair.source, 3, seed=0)
+        core = partition.shards[0]
+        expanded = expand_with_overlap(pair.source, core, 1)
+        assert np.all(np.isin(core, expanded))
+
+    def test_one_hop_adds_exactly_the_neighbours(self, pair):
+        core = np.array([0])
+        expanded = expand_with_overlap(pair.source, core, 1)
+        expected = np.unique(np.concatenate([[0], pair.source.neighbors(0)]))
+        assert np.array_equal(expanded, expected)
+
+    def test_negative_hops_rejected(self, pair):
+        with pytest.raises(ValueError, match="hops"):
+            expand_with_overlap(pair.source, np.array([0]), -1)
+
+
+class TestSignatureAndMatching:
+    def test_signature_width_and_normalised_histogram(self, pair):
+        nodes = np.arange(10)
+        sig = shard_signature(pair.source, nodes)
+        assert sig.shape == (8 + pair.source.n_attributes + 2,)
+        assert sig[:8].sum() == pytest.approx(1.0)
+
+    def test_empty_shard_signature_is_zero(self, pair):
+        sig = shard_signature(pair.source, np.array([], dtype=np.int64))
+        assert not sig.any()
+
+    def test_matching_is_a_permutation(self, pair):
+        sp = partition_graph(pair.source, 3, seed=0)
+        tp = partition_graph(pair.target, 3, seed=0)
+        matching = match_partitions(pair.source, sp, pair.target, tp)
+        assert sorted(m[0] for m in matching) == [0, 1, 2]
+        assert sorted(m[1] for m in matching) == [0, 1, 2]
+
+    def test_identical_graphs_match_identically(self, pair):
+        partition = partition_graph(pair.source, 3, seed=0)
+        matching = match_partitions(
+            pair.source, partition, pair.source, partition
+        )
+        assert matching == [(0, 0), (1, 1), (2, 2)]
+
+
+class TestShardPlan:
+    def test_plan_covers_all_sources(self, pair):
+        plan = build_shard_plan(pair, 3, overlap=1, seed=0)
+        cores = np.concatenate([p.source_core for p in plan.pairs])
+        assert np.array_equal(np.sort(cores), np.arange(pair.source.n_nodes))
+
+    def test_subpair_ground_truth_restriction(self, pair):
+        plan = build_shard_plan(pair, 3, overlap=1, seed=0)
+        for shard_pair in plan.pairs:
+            sub = shard_pair.subpair(pair)
+            for local_i, global_i in enumerate(shard_pair.source_nodes):
+                expected = pair.ground_truth[global_i]
+                local_truth = sub.ground_truth[local_i]
+                if expected >= 0 and expected in shard_pair.target_nodes:
+                    assert shard_pair.target_nodes[local_truth] == expected
+                else:
+                    assert local_truth == -1
+
+    def test_summary_is_json_safe(self, pair):
+        import json
+
+        plan = build_shard_plan(pair, 2, overlap=1, seed=0)
+        json.dumps(plan.summary())
+
+    def test_shard_count_clipped_to_smaller_side(self, pair):
+        plan = build_shard_plan(pair, 10_000, overlap=0, seed=0)
+        assert plan.n_shards <= min(pair.source.n_nodes, pair.target.n_nodes)
+        assert len(plan.pairs) == plan.n_shards
