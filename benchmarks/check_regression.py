@@ -69,6 +69,15 @@ CHECKS = {
         ("queries_per_second.topk_batch_qps", "rate", None),
         ("compression.save_s", "time", None),
     ],
+    "BENCH_precision.json": [
+        ("float64_bit_identical", "true", None),
+        ("accuracy.within_tolerance", "true", None),
+        ("memory.memory_ratio", "floor", 1.8),
+        # GEMM gains depend on the BLAS build; 1.1 is the "measurable
+        # speedup" floor, the same-mode rate check catches collapses.
+        ("gemm.speedup", "floor", 1.1),
+        ("gemm.float32_s", "time", None),
+    ],
     "BENCH_shard.json": [
         ("within_tolerance", "true", None),
         ("memory_ratio", "floor", 1.5),

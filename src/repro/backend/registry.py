@@ -1,0 +1,170 @@
+"""Generic named-backend registries with availability and ``"auto"`` resolution.
+
+The orbit-counting engine (PR 1) proved the pattern this module generalises:
+several interchangeable implementations of one computational contract, a
+string selector stored in the config, an ``"auto"`` alias resolving to the
+fastest implementation that is actually usable on the running interpreter,
+and a clear error listing the alternatives when a requested backend is
+missing.  That selection logic used to be private to
+:mod:`repro.orbits.engine`; here it is a reusable component so the
+similarity, serve and shard layers (and any future accelerated kernels) can
+share it.
+
+One :class:`BackendRegistry` exists per *kind* of pluggable computation —
+``"orbit"`` for the orbit counters, ``"compute"`` for the dense linear
+algebra kernels (see :mod:`repro.backend.compute`).  Registries are created
+on demand by :func:`get_registry` and are process-global: registering a
+backend makes it visible to every consumer of that kind.
+
+Availability is evaluated lazily: a backend may be registered with a
+predicate (e.g. "NumPy >= 2.0 has ``bitwise_count``") and is simply skipped
+by ``"auto"`` when the predicate is false, while asking for it by name
+raises a :class:`BackendUnavailableError` that says why the fallback exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+#: Reserved selector resolving to the best available backend of a registry.
+AUTO_BACKEND = "auto"
+
+
+class BackendUnavailableError(ValueError):
+    """A backend is registered but cannot run on this interpreter."""
+
+
+class BackendRegistry:
+    """Named implementations of one computational contract.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable registry identity (``"orbit"``, ``"compute"`` ...),
+        used in error messages.
+
+    Backends are registered with a ``priority``; ``"auto"`` resolves to the
+    highest-priority *available* backend (ties broken alphabetically, so
+    resolution is deterministic regardless of registration order).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._backends: Dict[str, object] = {}
+        self._priorities: Dict[str, int] = {}
+        self._availability: Dict[str, Union[bool, Callable[[], bool]]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        implementation: object,
+        *,
+        priority: int = 0,
+        available: Union[bool, Callable[[], bool]] = True,
+    ) -> None:
+        """Register (or replace) a backend implementation.
+
+        ``available`` may be a bool or a zero-argument predicate evaluated
+        at resolution time (so optional dependencies are probed lazily).
+        """
+        if name == AUTO_BACKEND:
+            raise ValueError(
+                f"'{AUTO_BACKEND}' is a reserved backend name "
+                f"({self.kind} registry)"
+            )
+        if not name:
+            raise ValueError(f"backend name must be non-empty ({self.kind} registry)")
+        self._backends[name] = implementation
+        self._priorities[name] = int(priority)
+        self._availability[name] = available
+
+    def unregister(self, name: str) -> None:
+        """Remove a backend (mainly for tests tearing down fakes)."""
+        self._backends.pop(name, None)
+        self._priorities.pop(name, None)
+        self._availability.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def names(self) -> Tuple[str, ...]:
+        """Every registered backend name, sorted (availability ignored)."""
+        return tuple(sorted(self._backends))
+
+    def is_available(self, name: str) -> bool:
+        """Whether ``name`` is registered and currently usable."""
+        if name not in self._backends:
+            return False
+        available = self._availability[name]
+        return bool(available() if callable(available) else available)
+
+    def available(self) -> Tuple[str, ...]:
+        """Currently usable backend names, sorted."""
+        return tuple(name for name in self.names() if self.is_available(name))
+
+    def default(self) -> str:
+        """The backend ``"auto"`` resolves to (highest priority available)."""
+        candidates = self.available()
+        if not candidates:
+            raise BackendUnavailableError(
+                f"no {self.kind} backend is available "
+                f"(registered: {self.names() or '()'})"
+            )
+        return max(candidates, key=lambda name: (self._priorities[name], name))
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, name: str = AUTO_BACKEND) -> str:
+        """Normalise a selector to a concrete, available backend name."""
+        if name == AUTO_BACKEND:
+            return self.default()
+        if name not in self._backends:
+            raise ValueError(
+                f"unknown {self.kind} backend {name!r}; "
+                f"expected '{AUTO_BACKEND}' or one of {self.available()}"
+            )
+        if not self.is_available(name):
+            raise BackendUnavailableError(
+                f"{self.kind} backend {name!r} is registered but not available "
+                f"on this interpreter; available: {self.available()}"
+            )
+        return name
+
+    def get(self, name: str = AUTO_BACKEND) -> object:
+        """The implementation behind ``name`` (after :meth:`resolve`)."""
+        return self._backends[self.resolve(name)]
+
+
+_REGISTRIES: Dict[str, BackendRegistry] = {}
+
+
+def get_registry(kind: str) -> BackendRegistry:
+    """The process-global registry for ``kind``, created on first use."""
+    registry = _REGISTRIES.get(kind)
+    if registry is None:
+        registry = _REGISTRIES[kind] = BackendRegistry(kind)
+    return registry
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    """Kinds with a live registry (sorted) — mainly for diagnostics."""
+    return tuple(sorted(_REGISTRIES))
+
+
+def peek_registry(kind: str) -> Optional[BackendRegistry]:
+    """The registry for ``kind`` if one exists, without creating it."""
+    return _REGISTRIES.get(kind)
+
+
+__all__ = [
+    "AUTO_BACKEND",
+    "BackendRegistry",
+    "BackendUnavailableError",
+    "get_registry",
+    "registered_kinds",
+    "peek_registry",
+]

@@ -53,6 +53,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.backend import PRECISIONS, available_compute_backends
 from repro.baselines import PAPER_BASELINES, make_baseline
 from repro.core import HTCAligner, HTCConfig
 from repro.datasets import available_datasets, is_known_dataset, load_dataset
@@ -106,6 +107,8 @@ def _config_from_args(args: argparse.Namespace) -> HTCConfig:
         epochs=args.epochs,
         n_neighbors=args.neighbors,
         reinforcement_rate=args.beta,
+        compute_dtype=args.dtype,
+        backend=args.backend,
         orbit_backend=args.orbit_backend,
         orbit_cache=args.orbit_cache,
         score_chunk_size=args.chunk_size,
@@ -124,6 +127,22 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--neighbors", type=int, default=10, help="LISI neighbourhood m")
     parser.add_argument("--beta", type=float, default=1.1, help="reinforcement rate")
+    parser.add_argument(
+        "--dtype",
+        choices=PRECISIONS,
+        default="float64",
+        help="precision policy for the similarity/serve hot paths: float64 "
+        "(exact, bit-identical default) or float32 (about half the "
+        "score-matrix memory and faster GEMMs, float64 accumulation "
+        "for reductions; documented tolerances instead of bit-identity)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto",) + available_compute_backends(),
+        default="auto",
+        help="dense compute backend from the shared registry "
+        "(auto = best available; numpy is built in)",
+    )
     parser.add_argument(
         "--orbit-backend",
         choices=("auto",) + available_orbit_backends(),
@@ -416,6 +435,12 @@ def _suite_from_args(args: argparse.Namespace) -> SuiteSpec:
     }
     if args.orbits is not None:
         config["orbits"] = tuple(range(args.orbits))
+    # Non-default precision/backend knobs only, so pre-existing suite spec
+    # hashes (and --resume caches) stay stable.
+    if args.dtype != "float64":
+        config["compute_dtype"] = args.dtype
+    if args.backend != "auto":
+        config["backend"] = args.backend
     if args.chunk_size is not None:
         config["score_chunk_size"] = args.chunk_size
     if args.shards is not None:
@@ -492,6 +517,7 @@ def _cmd_export_artifact(args: argparse.Namespace) -> int:
     print(f"artifact id:   {info.artifact_id}")
     print(f"path:          {info.path}")
     print(f"matrix shape:  {n_s} x {n_t}")
+    print(f"score dtype:   {info.index.score_dtype}")
     print(f"index k:       {info.index.k} (reverse {info.index.reverse_k})")
     print(
         f"index memory:  {info.index.nbytes / 1e6:.2f} MB "
@@ -540,6 +566,7 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
                 "dataset": metadata.get("dataset", ""),
                 "method": metadata.get("method", ""),
                 "shape": f"{shape[0]}x{shape[1]}",
+                "dtype": manifest.get("dtype", "?"),
                 "k": index_meta.get("k", "?"),
                 "schema": ".".join(
                     str(x) for x in manifest.get("schema_version", [])

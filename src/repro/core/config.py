@@ -13,8 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple, Union
 
+from repro.backend.compute import resolve_compute_backend
+from repro.backend.precision import PrecisionPolicy, resolve_policy
 from repro.orbits.cache import resolve_cache
-from repro.orbits.engine import AUTO_BACKEND, available_backends
+from repro.orbits.engine import AUTO_BACKEND, orbit_registry
 from repro.orbits.graphlets import EDGE_ORBIT_COUNT
 from repro.utils.random import RandomStateLike
 
@@ -61,10 +63,29 @@ class HTCConfig:
         graphlet degree vector (15 node orbits) to its attributes before
         encoding, which injects higher-order structure even into the
         low-order ablations.
+    compute_dtype:
+        Precision policy of the similarity/serve/shard hot paths:
+        ``"float64"`` (default — exact, bit-identical to the historical
+        kernels) or ``"float32"`` (half the score-matrix memory, faster
+        GEMMs, float64 accumulation for reductions; documented tolerances
+        instead of bit-identity).  See :mod:`repro.backend.precision`.
+    backend:
+        Dense compute backend for the similarity kernels: ``"auto"``
+        (default) or a name registered in the shared compute registry
+        (:mod:`repro.backend.compute`; ``"numpy"`` is built in).
     orbit_backend:
         Orbit-counting backend: ``"auto"`` (default; the fastest available),
         ``"numpy"`` (vectorized bitset counters), or ``"python"`` (the
         pure-Python reference).  All backends are bit-identical.
+
+        .. deprecated:: PR 5
+            This field is now a thin alias for the ``"orbit"`` kind of the
+            shared :mod:`repro.backend` registry (where the counters are
+            registered); it keeps working unchanged, but new code extending
+            the backend set should register through
+            :func:`repro.orbits.engine.register_backend` /
+            ``repro.backend.get_registry("orbit")`` rather than assume the
+            selection logic is private to the orbit engine.
     orbit_cache:
         Orbit-count memoisation spec: ``"memory"`` (default; process-wide
         in-memory cache keyed by graph content hash), ``"off"``, a directory
@@ -111,6 +132,8 @@ class HTCConfig:
     use_lisi: bool = True
     shared_encoder: bool = True
     augment_with_gdv: bool = False
+    compute_dtype: str = "float64"
+    backend: str = AUTO_BACKEND
     orbit_backend: str = AUTO_BACKEND
     orbit_cache: Union[bool, str, object] = "memory"
     score_chunk_size: Optional[int] = None
@@ -167,12 +190,17 @@ class HTCConfig:
             raise ValueError(
                 f"shard_overlap must be >= 0, got {self.shard_overlap}"
             )
-        valid_backends = (AUTO_BACKEND,) + available_backends()
+        registry = orbit_registry()
+        valid_backends = (AUTO_BACKEND,) + registry.available()
         if self.orbit_backend not in valid_backends:
             raise ValueError(
                 f"orbit_backend must be one of {valid_backends}, "
                 f"got {self.orbit_backend!r}"
             )
+        # Both knobs of the shared backend/precision layer fail fast here so
+        # a bad CLI/suite value surfaces before any training happens.
+        resolve_policy(self.compute_dtype)
+        resolve_compute_backend(self.backend)
         try:
             resolve_cache(self.orbit_cache)
         except TypeError as exc:
@@ -189,6 +217,11 @@ class HTCConfig:
     def hidden_dims(self) -> Tuple[int, ...]:
         """Per-layer output sizes fed to the shared encoder."""
         return tuple([self.embedding_dim] * self.n_layers)
+
+    @property
+    def precision_policy(self) -> PrecisionPolicy:
+        """The resolved :class:`PrecisionPolicy` behind ``compute_dtype``."""
+        return resolve_policy(self.compute_dtype)
 
     def updated(self, **changes) -> "HTCConfig":
         """Return a copy of the config with ``changes`` applied."""

@@ -31,10 +31,12 @@ from repro.nn.init import glorot_uniform
 from repro.nn.layers import GCNLayer, Linear, SharedGCNEncoder
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import SGD, Adam, Optimizer
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_default_dtype, set_default_dtype
 
 __all__ = [
     "Tensor",
+    "get_default_dtype",
+    "set_default_dtype",
     "Parameter",
     "Module",
     "Linear",

@@ -146,7 +146,9 @@ class SharedGCNEncoder(Module):
             If True, return the list of every layer's output (used by GAlign's
             multi-order alignment); otherwise return only the final embedding.
         """
-        hidden = Tensor(np.asarray(features, dtype=np.float64))
+        # Floating features keep their dtype; non-floating input is promoted
+        # to the nn default dtype (float64 unless set_default_dtype changed it).
+        hidden = Tensor(np.asarray(features))
         outputs = []
         for layer in self.layers:
             hidden = layer(laplacian, hidden)

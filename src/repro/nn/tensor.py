@@ -8,6 +8,18 @@ accumulates gradients into ``.grad`` for every tensor that requires them.
 Only the operations needed by the library's models are implemented; they all
 support the broadcasting rules numpy applies in the forward pass (gradients
 are "unbroadcast" by summing over the broadcast axes).
+
+**Compute dtype.**  Tensors are no longer unconditionally ``float64``:
+floating-point input data keeps its dtype (gradients follow the tensor's
+own dtype), non-floating data — and the weight initialisers in
+:mod:`repro.nn.init` — follow the module default, ``float64`` unless
+changed via :func:`set_default_dtype`; an explicit ``dtype=`` wins over
+both.  The float64 default is exactly the historical behaviour.  Note the
+HTC pipeline's graph attributes are float64, so training stays float64
+regardless of :class:`repro.core.HTCConfig`'s ``compute_dtype`` (which
+governs the *scoring* stack, :mod:`repro.backend.precision`); a float32
+training pipeline needs ``set_default_dtype(np.float32)`` (float32
+parameters) plus float32 features and Laplacians.
 """
 
 from __future__ import annotations
@@ -18,9 +30,45 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
+#: Dtypes a tensor may hold.
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
-def _as_array(value: ArrayLike) -> np.ndarray:
-    return np.asarray(value, dtype=np.float64)
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype non-floating tensor data is promoted to."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the default tensor dtype; returns the previous default.
+
+    Only ``float32`` and ``float64`` are supported (the autograd closures
+    assume real floating arithmetic).
+    """
+    global _DEFAULT_DTYPE
+    new = np.dtype(dtype)
+    if new not in _FLOAT_DTYPES:
+        raise ValueError(
+            f"default tensor dtype must be float32 or float64, got {new}"
+        )
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = new
+    return previous
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    array = np.asarray(value)
+    if dtype is not None:
+        wanted = np.dtype(dtype)
+    elif array.dtype in _FLOAT_DTYPES:
+        return array
+    else:
+        wanted = _DEFAULT_DTYPE
+    if array.dtype == wanted:
+        return array
+    return array.astype(wanted)
 
 
 def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -43,9 +91,14 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like numeric data (converted to ``float64``).
+        Array-like numeric data.  Floating input keeps its dtype;
+        non-floating input is promoted to the module default dtype
+        (:func:`get_default_dtype`, ``float64`` out of the box).
     requires_grad:
         Whether gradients should be accumulated for this tensor.
+    dtype:
+        Optional explicit dtype (``float32`` / ``float64``) overriding both
+        rules.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
@@ -57,8 +110,9 @@ class Tensor:
         _parents: Iterable["Tensor"] = (),
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
+        dtype=None,
     ) -> None:
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._parents: Tuple["Tensor", ...] = tuple(_parents)
@@ -96,7 +150,10 @@ class Tensor:
         self.grad = None
 
     def _accumulate(self, gradient: np.ndarray) -> None:
-        gradient = _unbroadcast(np.asarray(gradient, dtype=np.float64), self.data.shape)
+        # Gradients live in the tensor's own compute dtype.
+        gradient = _unbroadcast(
+            np.asarray(gradient, dtype=self.data.dtype), self.data.shape
+        )
         if self.grad is None:
             self.grad = gradient.copy()
         else:
@@ -126,7 +183,7 @@ class Tensor:
             topo_order.append(node)
 
         visit(self)
-        self._accumulate(np.asarray(gradient, dtype=np.float64))
+        self._accumulate(np.asarray(gradient, dtype=self.data.dtype))
         for node in reversed(topo_order):
             if node._backward is None or node.grad is None:
                 continue
@@ -301,4 +358,4 @@ class Tensor:
         return f"Tensor(shape={self.data.shape}{grad_flag})"
 
 
-__all__ = ["Tensor"]
+__all__ = ["Tensor", "get_default_dtype", "set_default_dtype"]

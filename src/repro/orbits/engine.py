@@ -10,6 +10,13 @@ counting.  Two backends are registered out of the box:
   (:mod:`repro.orbits.vectorized`), bit-identical and an order of magnitude
   faster (see ``benchmarks/bench_orbit_counting.py``).
 
+Backend selection lives in the shared :mod:`repro.backend` registry (kind
+``"orbit"``): this module registers its counters there and the
+``available_backends`` / ``resolve_backend`` / ``register_backend``
+functions below are thin views over that registry, kept for backward
+compatibility with PR-1-era callers (``HTCConfig.orbit_backend`` resolves
+through the same path).
+
 ``backend="auto"`` (the default) resolves to the fastest available backend.
 Passing a :class:`repro.orbits.cache.OrbitCache` (or a cache spec via
 ``HTCConfig.orbit_cache``) memoises results by graph content hash, so
@@ -19,10 +26,12 @@ sweeps, repeated benchmark runs — skip the counting stage entirely.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.backend.registry import AUTO_BACKEND, BackendRegistry, get_registry
 from repro.graph.attributed_graph import AttributedGraph
 from repro.orbits import edge_orbits as _edge_reference
 from repro.orbits import node_orbits as _node_reference
@@ -30,25 +39,58 @@ from repro.orbits import vectorized as _vectorized
 from repro.orbits.cache import OrbitCache, graph_content_hash
 from repro.orbits.edge_orbits import EdgeOrbitCounts
 
-AUTO_BACKEND = "auto"
+#: Registry kind the orbit counters live under in :mod:`repro.backend`.
+ORBIT_KIND = "orbit"
 
 #: The vectorized backend needs ``np.bitwise_count`` (NumPy >= 2.0); on older
-#: NumPy it is simply not registered and ``"auto"`` falls back to the
+#: NumPy it is registered as unavailable and ``"auto"`` falls back to the
 #: reference implementation.
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
-_EDGE_BACKENDS: Dict[str, Callable[[AttributedGraph], EdgeOrbitCounts]] = {
-    "python": _edge_reference.count_edge_orbits,
-}
-_NODE_BACKENDS: Dict[str, Callable[[AttributedGraph], np.ndarray]] = {
-    "python": _node_reference.count_node_orbits,
-}
-if _HAS_BITWISE_COUNT:
-    _EDGE_BACKENDS["numpy"] = _vectorized.count_edge_orbits_numpy
-    _NODE_BACKENDS["numpy"] = _vectorized.count_node_orbits_numpy
+
+@dataclass(frozen=True)
+class OrbitBackend:
+    """One orbit-counting implementation: paired edge and node counters."""
+
+    name: str
+    count_edge_orbits: Callable[[AttributedGraph], EdgeOrbitCounts]
+    count_node_orbits: Callable[[AttributedGraph], np.ndarray]
+
+
+def orbit_registry() -> BackendRegistry:
+    """The shared ``"orbit"`` registry, with the built-ins registered.
+
+    Each built-in is (re-)registered individually if missing, so an
+    ``unregister`` of one (e.g. a test tearing down a fake) can never take
+    the other down with it for the rest of the process.
+    """
+    registry = get_registry(ORBIT_KIND)
+    if "python" not in registry.names():
+        registry.register(
+            "python",
+            OrbitBackend(
+                name="python",
+                count_edge_orbits=_edge_reference.count_edge_orbits,
+                count_node_orbits=_node_reference.count_node_orbits,
+            ),
+            priority=0,
+        )
+    if "numpy" not in registry.names():
+        registry.register(
+            "numpy",
+            OrbitBackend(
+                name="numpy",
+                count_edge_orbits=_vectorized.count_edge_orbits_numpy,
+                count_node_orbits=_vectorized.count_node_orbits_numpy,
+            ),
+            priority=10,
+            available=_HAS_BITWISE_COUNT,
+        )
+    return registry
+
 
 #: The spelled-out backend the ``"auto"`` alias resolves to.
-DEFAULT_BACKEND = "numpy" if _HAS_BITWISE_COUNT else "python"
+DEFAULT_BACKEND = orbit_registry().default()
 
 #: Backends proven bit-identical; only these share cache records.  Externally
 #: registered backends get backend-qualified cache keys so an approximate
@@ -65,31 +107,42 @@ def _cache_key(graph: AttributedGraph, backend: str) -> str:
 
 def available_backends() -> Tuple[str, ...]:
     """Registered backend names (without the ``"auto"`` alias)."""
-    return tuple(sorted(_EDGE_BACKENDS))
+    return orbit_registry().available()
 
 
 def resolve_backend(backend: str) -> str:
     """Normalise a backend name, resolving ``"auto"`` to the default."""
-    if backend == AUTO_BACKEND:
-        return DEFAULT_BACKEND
-    if backend not in _EDGE_BACKENDS:
-        raise ValueError(
-            f"unknown orbit backend {backend!r}; "
-            f"expected 'auto' or one of {available_backends()}"
-        )
-    return backend
+    return orbit_registry().resolve(backend)
 
 
 def register_backend(
     name: str,
     edge_counter: Callable[[AttributedGraph], EdgeOrbitCounts],
     node_counter: Callable[[AttributedGraph], np.ndarray],
+    *,
+    priority: int = 0,
 ) -> None:
     """Register an additional orbit-counting backend (e.g. a C extension)."""
-    if name == AUTO_BACKEND:
-        raise ValueError("'auto' is a reserved backend name")
-    _EDGE_BACKENDS[name] = edge_counter
-    _NODE_BACKENDS[name] = node_counter
+    orbit_registry().register(
+        name,
+        OrbitBackend(
+            name=name,
+            count_edge_orbits=edge_counter,
+            count_node_orbits=node_counter,
+        ),
+        priority=priority,
+    )
+
+
+def _get(backend: str) -> OrbitBackend:
+    implementation = orbit_registry().get(backend)
+    if not isinstance(implementation, OrbitBackend):
+        raise TypeError(
+            f"orbit backend {backend!r} is not an OrbitBackend "
+            f"(got {type(implementation).__name__}); register orbit counters "
+            "via repro.orbits.engine.register_backend"
+        )
+    return implementation
 
 
 def count_edge_orbits(
@@ -103,12 +156,12 @@ def count_edge_orbits(
     """
     backend = resolve_backend(backend)
     if cache is None:
-        return _EDGE_BACKENDS[backend](graph)
+        return _get(backend).count_edge_orbits(graph)
     key = _cache_key(graph, backend)
     cached = cache.get_edge_orbits(key)
     if cached is not None:
         return cached
-    counts = _EDGE_BACKENDS[backend](graph)
+    counts = _get(backend).count_edge_orbits(graph)
     cache.put_edge_orbits(key, counts)
     return counts
 
@@ -121,12 +174,12 @@ def count_node_orbits(
     """The ``(n_nodes, 15)`` node-orbit (GDV) matrix, via ``backend``, memoised."""
     backend = resolve_backend(backend)
     if cache is None:
-        return _NODE_BACKENDS[backend](graph)
+        return _get(backend).count_node_orbits(graph)
     key = _cache_key(graph, backend)
     cached = cache.get_node_orbits(key)
     if cached is not None:
         return cached
-    gdv = _NODE_BACKENDS[backend](graph)
+    gdv = _get(backend).count_node_orbits(graph)
     cache.put_node_orbits(key, gdv)
     return gdv
 
@@ -147,6 +200,9 @@ def graphlet_degree_vectors(
 __all__ = [
     "AUTO_BACKEND",
     "DEFAULT_BACKEND",
+    "ORBIT_KIND",
+    "OrbitBackend",
+    "orbit_registry",
     "available_backends",
     "resolve_backend",
     "register_backend",

@@ -38,15 +38,21 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.backend.precision import as_score_matrix
 from repro.core.config import HTCConfig
 from repro.core.result import AlignmentResult
 from repro.runner.spec import canonical_json, spec_hash
 from repro.serve.index import DEFAULT_INDEX_K, SparseTopKIndex, build_index
 from repro.utils.naming import slugify
 
-#: Current artifact schema. Major bumps break readers; the minor component
-#: (the second element) is informational.
-SCHEMA_VERSION = [1, 0]
+#: Current artifact schema.  Major bumps break readers.  1.1 added the
+#: top-level ``dtype`` field (the precision policy the scores were computed
+#: and stored under); it is required to *load* an artifact — a pre-1.1
+#: manifest raises :class:`ArtifactSchemaError` asking for a re-export —
+#: but listing/discovery (:func:`list_artifacts`) still surfaces pre-1.1
+#: artifacts so the error is reachable instead of the store silently
+#: shrinking.
+SCHEMA_VERSION = [1, 1]
 
 MANIFEST_FILE = "manifest.json"
 ARRAYS_FILE = "arrays.npz"
@@ -169,8 +175,8 @@ def _write_artifact(
     if path.is_dir() and not overwrite:
         try:
             existing = _read_manifest(path)
-        except (ArtifactNotFoundError, ArtifactIntegrityError):
-            existing = None  # half-written/corrupt directory: rewrite it
+        except (ArtifactNotFoundError, ArtifactIntegrityError, ArtifactSchemaError):
+            existing = None  # half-written/corrupt/pre-dtype directory: rewrite
         if existing is not None and existing.get("content_hash") == content_hash:
             if existing.get("metadata") != manifest["metadata"]:
                 existing["metadata"] = manifest["metadata"]
@@ -239,10 +245,12 @@ def save_artifact(
     array_meta = _array_meta(arrays)
     config_payload = serialize_config(config) if config is not None else None
     scalars = result.scalar_payload()
+    dtype = str(index.score_dtype)
     content_hash = spec_hash(
         {
             "schema_version": SCHEMA_VERSION,
             "name": name,
+            "dtype": dtype,
             "config": config_payload,
             "scalars": scalars,
             "arrays": array_meta,
@@ -255,6 +263,7 @@ def save_artifact(
         "name": name,
         "content_hash": content_hash,
         "created_unix": time.time(),
+        "dtype": dtype,
         "config": config_payload,
         "scalars": scalars,
         "arrays": array_meta,
@@ -287,11 +296,13 @@ def save_index_artifact(
     arrays = dict(index.array_payload())
     array_meta = _array_meta(arrays)
     config_payload = serialize_config(config) if config is not None else None
+    dtype = str(index.score_dtype)
     content_hash = spec_hash(
         {
             "schema_version": SCHEMA_VERSION,
             "kind": "index",
             "name": name,
+            "dtype": dtype,
             "config": config_payload,
             "arrays": array_meta,
             "index": index.meta_payload(),
@@ -304,6 +315,7 @@ def save_index_artifact(
         "name": name,
         "content_hash": content_hash,
         "created_unix": time.time(),
+        "dtype": dtype,
         "config": config_payload,
         "scalars": {},
         "arrays": array_meta,
@@ -329,9 +341,9 @@ def export_result(
     so every method's output is servable under the same artifact contract.
     """
     if not isinstance(raw_result, AlignmentResult):
-        raw_result = AlignmentResult(
-            alignment_matrix=np.asarray(raw_result, dtype=np.float64)
-        )
+        # Preserve a float32 matrix (the reduced-precision policy); promote
+        # everything non-float to float64 as before.
+        raw_result = AlignmentResult(alignment_matrix=as_score_matrix(raw_result))
     return save_artifact(
         raw_result,
         config,
@@ -362,8 +374,20 @@ class Artifact:
         """Dense matrix shape served by this artifact."""
         return self.index.shape
 
+    @property
+    def dtype(self) -> str:
+        """Score dtype recorded in the manifest (``float64``/``float32``)."""
+        return str(self.manifest.get("dtype", str(self.index.score_dtype)))
 
-def _read_manifest(path: Path) -> Dict[str, object]:
+
+def _read_manifest(path: Path, require_dtype: bool = True) -> Dict[str, object]:
+    """Parse and schema-check one manifest.
+
+    ``require_dtype=False`` (listing/discovery) accepts pre-1.1 manifests
+    without the ``dtype`` field, so old artifacts stay visible in
+    ``serve-stats`` — attempting to *load* one still raises the clear
+    re-export error below.
+    """
     manifest_path = path / MANIFEST_FILE
     if not manifest_path.is_file():
         raise ArtifactNotFoundError(f"no manifest at {manifest_path}")
@@ -380,6 +404,13 @@ def _read_manifest(path: Path) -> Dict[str, object]:
         raise ArtifactSchemaError(
             f"artifact {manifest_path} uses schema {version}, newer than the "
             f"supported {SCHEMA_VERSION}; upgrade repro to read it"
+        )
+    if require_dtype and "dtype" not in manifest:
+        raise ArtifactSchemaError(
+            f"artifact {manifest_path} has no 'dtype' field: it was written "
+            f"by a pre-1.1 schema that predates precision policies.  "
+            "Re-export the artifact (the writer now records whether scores "
+            "are float64 or float32)"
         )
     return manifest
 
@@ -494,6 +525,9 @@ def list_artifacts(root: Union[str, Path]) -> List[Dict[str, object]]:
 
     Directories without a readable manifest are skipped (e.g. a crashed
     half-written export, which never got its manifest renamed into place).
+    Pre-1.1 manifests (no ``dtype`` field) are listed — loading them is
+    what raises the re-export schema error — so an upgrade never makes a
+    store look silently empty.
     """
     root = Path(root)
     if not root.is_dir():
@@ -503,7 +537,7 @@ def list_artifacts(root: Union[str, Path]) -> List[Dict[str, object]]:
         if not entry.is_dir():
             continue
         try:
-            manifests.append(_read_manifest(entry))
+            manifests.append(_read_manifest(entry, require_dtype=False))
         except (ArtifactNotFoundError, ArtifactIntegrityError, ArtifactSchemaError):
             continue
     return manifests

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.backend.precision import PolicyLike, as_score_matrix
 from repro.similarity.chunked import ChunkedScorer, resolve_chunk_rows
 from repro.similarity.matching import top_k_indices
 
@@ -175,6 +176,11 @@ class SparseTopKIndex:
     # introspection / serialization
     # ------------------------------------------------------------------
     @property
+    def score_dtype(self) -> np.dtype:
+        """Dtype of the stored scores (the precision policy they carry)."""
+        return self.scores.dtype
+
+    @property
     def nbytes(self) -> int:
         """Resident bytes of the four index arrays."""
         return int(
@@ -186,8 +192,8 @@ class SparseTopKIndex:
 
     @property
     def dense_nbytes(self) -> int:
-        """Bytes the equivalent dense float64 matrix would occupy."""
-        return int(self.shape[0]) * int(self.shape[1]) * 8
+        """Bytes the equivalent dense matrix (same score dtype) would occupy."""
+        return int(self.shape[0]) * int(self.shape[1]) * self.score_dtype.itemsize
 
     @property
     def compression_ratio(self) -> float:
@@ -209,6 +215,7 @@ class SparseTopKIndex:
             "shape": [int(self.shape[0]), int(self.shape[1])],
             "k": int(self.k),
             "reverse_k": int(self.reverse_k),
+            "score_dtype": str(self.score_dtype),
         }
 
     @classmethod
@@ -229,18 +236,18 @@ class SparseTopKIndex:
         if missing:
             raise ValueError(f"index payload is missing arrays: {missing}")
         shape = tuple(int(x) for x in meta["shape"])
+        # Scores keep their stored dtype (float32 artifacts stay float32);
+        # anything non-float is promoted to float64 as before.
         return cls(
             shape=shape,  # type: ignore[arg-type]
             k=int(meta["k"]),
             indices=np.asarray(arrays["index_indices"], dtype=np.intp),
-            scores=np.asarray(arrays["index_scores"], dtype=np.float64),
+            scores=as_score_matrix(arrays["index_scores"]),
             reverse_k=int(meta["reverse_k"]),
             reverse_indices=np.asarray(
                 arrays["index_reverse_indices"], dtype=np.intp
             ),
-            reverse_scores=np.asarray(
-                arrays["index_reverse_scores"], dtype=np.float64
-            ),
+            reverse_scores=as_score_matrix(arrays["index_reverse_scores"]),
         )
 
 
@@ -253,16 +260,22 @@ def _build_from_blocks(
     n_target: int,
     k: int,
     reverse_k: int,
+    score_dtype=np.float64,
 ) -> SparseTopKIndex:
-    """Core builder: fold ``(row_start, block)`` chunks into both indexes."""
+    """Core builder: fold ``(row_start, block)`` chunks into both indexes.
+
+    ``score_dtype`` is the dtype of the stored score arrays — the incoming
+    blocks' compute dtype, so a float32 policy yields a ~2x smaller index.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if reverse_k < 1:
         raise ValueError(f"reverse_k must be >= 1, got {reverse_k}")
+    score_dtype = np.dtype(score_dtype)
     k_eff = min(k, n_target)
     rk_eff = min(reverse_k, n_source)
     indices = np.empty((n_source, k_eff), dtype=np.intp)
-    scores = np.empty((n_source, k_eff), dtype=np.float64)
+    scores = np.empty((n_source, k_eff), dtype=score_dtype)
     col_scores: Optional[np.ndarray] = None
     col_rows: Optional[np.ndarray] = None
     for start, block in blocks:
@@ -275,7 +288,7 @@ def _build_from_blocks(
                 col_scores, col_rows, block, start, rk_eff
             )
     if col_scores is None:
-        col_scores = np.empty((rk_eff, n_target), dtype=np.float64)
+        col_scores = np.empty((rk_eff, n_target), dtype=score_dtype)
         col_rows = np.empty((rk_eff, n_target), dtype=np.intp)
     return SparseTopKIndex(
         shape=(n_source, n_target),
@@ -284,7 +297,7 @@ def _build_from_blocks(
         scores=scores,
         reverse_k=reverse_k,
         reverse_indices=np.ascontiguousarray(col_rows.T, dtype=np.intp),
-        reverse_scores=np.ascontiguousarray(col_scores.T, dtype=np.float64),
+        reverse_scores=np.ascontiguousarray(col_scores.T, dtype=score_dtype),
     )
 
 
@@ -297,9 +310,10 @@ def build_index(
     """Index a dense score matrix, streaming it in row chunks.
 
     ``chunk_rows`` bounds the temporary working set; the result is
-    independent of the chunking (the selection order is total).
+    independent of the chunking (the selection order is total).  The score
+    matrix's float32/float64 dtype is preserved in the stored index.
     """
-    scores = np.asarray(score_matrix, dtype=np.float64)
+    scores = as_score_matrix(score_matrix)
     if scores.ndim != 2:
         raise ValueError(f"score_matrix must be 2-D, got shape {scores.shape}")
     n_source, n_target = scores.shape
@@ -310,7 +324,12 @@ def build_index(
             yield start, scores[start : start + chunk]
 
     return _build_from_blocks(
-        blocks(), n_source, n_target, k, reverse_k if reverse_k is not None else k
+        blocks(),
+        n_source,
+        n_target,
+        k,
+        reverse_k if reverse_k is not None else k,
+        score_dtype=scores.dtype,
     )
 
 
@@ -324,12 +343,17 @@ def build_index_from_embeddings(
     correction: Optional[str] = None,
     n_neighbors: int = 10,
     chunk_rows: Optional[int] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> SparseTopKIndex:
     """Index the (corrected) similarity of two embedding matrices.
 
     Streams :class:`repro.similarity.chunked.ChunkedScorer` blocks, so the
     dense ``(n_s, n_t)`` matrix is never materialised; each block is
-    bit-identical to the corresponding dense rows.
+    bit-identical to the corresponding dense rows of the same policy.
+    ``policy``/``backend`` select the scoring precision and compute backend
+    (:mod:`repro.backend`); the stored score arrays use the policy's
+    compute dtype.
     """
     scorer = ChunkedScorer(
         source_embeddings,
@@ -338,6 +362,8 @@ def build_index_from_embeddings(
         correction=correction,
         n_neighbors=n_neighbors,
         chunk_rows=chunk_rows,
+        policy=policy,
+        backend=backend,
     )
     return _build_from_blocks(
         ((start, block) for start, _stop, block in scorer.iter_blocks()),
@@ -345,6 +371,7 @@ def build_index_from_embeddings(
         scorer.n_target,
         k,
         reverse_k if reverse_k is not None else k,
+        score_dtype=scorer.policy.compute_dtype,
     )
 
 

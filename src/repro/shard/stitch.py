@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend.precision import as_score_matrix, score_dtype
 from repro.core.result import AlignmentResult
 from repro.graph.attributed_graph import AttributedGraph
 from repro.serve.index import DEFAULT_INDEX_K, SparseTopKIndex
@@ -105,7 +106,9 @@ class StitchedAlignment:
         finite = stored[np.isfinite(stored)]
         if fill is None:
             fill = float(finite.min() - 1.0) if finite.size else 0.0
-        dense = np.full((n_source, n_target), fill, dtype=np.float64)
+        dense = np.full(
+            (n_source, n_target), fill, dtype=self.index.score_dtype
+        )
         for rows_width, indices, scores in (
             (n_source, self.index.indices, self.index.scores),
             (n_target, self.index.reverse_indices, self.index.reverse_scores),
@@ -145,10 +148,11 @@ def _assemble_side(
     Candidates are sorted by the global total order *(row asc, score desc,
     col asc, shard asc)*; duplicate ``(row, col)`` pairs keep their best
     occurrence under that order.  Returns ``(indices, scores, n_duplicates)``
-    with ``-1``/``-inf`` padding.
+    with ``-1``/``-inf`` padding.  The output score array keeps the
+    candidates' (float32/float64) dtype.
     """
     indices_out = np.full((n_rows, width), -1, dtype=np.intp)
-    scores_out = np.full((n_rows, width), -np.inf, dtype=np.float64)
+    scores_out = np.full((n_rows, width), -np.inf, dtype=score_dtype(scores))
     if rows.size == 0:
         return indices_out, scores_out, 0
 
@@ -190,7 +194,8 @@ def _candidates_from_shards(
     all_scores: List[np.ndarray] = []
     all_shards: List[np.ndarray] = []
     for shard_pair, matrix in zip(plan.pairs, matrices):
-        matrix = np.asarray(matrix, dtype=np.float64)
+        # Per-shard matrices keep their precision-policy dtype.
+        matrix = as_score_matrix(matrix)
         if reverse:
             matrix = matrix.T
             row_ids = shard_pair.target_nodes
@@ -376,7 +381,11 @@ def refine_stitched(
         consistency = (adj_source @ seed_map @ adj_target).tocsr()
         bonus = np.asarray(consistency[sources, targets]).ravel()
         norm = 1.0 + np.sqrt(deg_source[sources] * deg_target[targets])
-        new_scores = scores + alpha * bonus / norm
+        # Bonus math runs in float64; the candidate scores keep their
+        # stored (possibly float32) dtype through the rebuild.
+        new_scores = (scores + alpha * bonus / norm).astype(
+            scores.dtype, copy=False
+        )
 
         shard_ids = np.zeros(sources.size, dtype=np.int64)
         indices, fwd_scores, _ = _assemble_side(

@@ -36,6 +36,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend.precision import PolicyLike, resolve_policy
 from repro.similarity.lisi import (
     _apply_hubness_correction,
     _column_top_mean,
@@ -93,6 +94,12 @@ class ChunkedScorer:
     chunk_rows:
         Streaming granularity; rounded up to a multiple of
         :data:`~repro.similarity.measures.BLOCK_ROWS`.
+    policy, backend:
+        Precision policy and compute backend (see :mod:`repro.backend`).
+        Blocks and factors are held in the policy's compute dtype; the
+        hubness vectors are always float64 (reduction statistics accumulate
+        in ``accum_dtype``).  The float64 default is bit-identical to the
+        historical scorer.
 
     Only ``O(n·d)`` factor matrices and ``O(chunk_rows × n_t)`` block
     buffers are held at any time.
@@ -107,6 +114,8 @@ class ChunkedScorer:
         correction: Optional[str] = None,
         n_neighbors: int = 10,
         chunk_rows: Optional[int] = None,
+        policy: PolicyLike = None,
+        backend: Optional[str] = None,
     ) -> None:
         if measure not in MEASURES:
             raise ValueError(f"measure must be one of {MEASURES}, got {measure!r}")
@@ -114,9 +123,13 @@ class ChunkedScorer:
             raise ValueError(
                 f"correction must be one of {CORRECTIONS}, got {correction!r}"
             )
+        self.policy = resolve_policy(policy)
+        self.backend = backend
         source, target = _validate_embeddings(source_embeddings, target_embeddings)
         factorize = _pearson_factors if measure == "pearson" else _cosine_factors
-        self._source_factor, self._target_factor = factorize(source, target)
+        self._source_factor, self._target_factor = factorize(
+            source, target, self.policy
+        )
         self.n_source = source.shape[0]
         self.n_target = target.shape[0]
         self.measure = measure
@@ -134,12 +147,13 @@ class ChunkedScorer:
     ) -> np.ndarray:
         """Rows ``[start, stop)`` of the *uncorrected* similarity matrix."""
         if out is None:
-            out = np.empty((stop - start, self.n_target), dtype=np.float64)
+            out = self.policy.empty((stop - start, self.n_target))
         return _windowed_product(
             self._source_factor[start:stop],
             self._target_factor,
             out,
             row_offset=start,
+            backend=self.backend,
         )
 
     def _chunk_bounds(self) -> Iterator[Tuple[int, int]]:
@@ -243,12 +257,11 @@ class ChunkedScorer:
         pair plus the hubness accumulators — no second ``(n_s, n_t)`` array.
         """
         if out is None:
-            out = np.empty((self.n_source, self.n_target), dtype=np.float64)
-        elif out.shape != (self.n_source, self.n_target) or out.dtype != np.float64:
-            raise ValueError(
-                "out must be a float64 array of shape "
-                f"({self.n_source}, {self.n_target}), got {out.dtype} {out.shape}"
-            )
+            out = self.policy.empty((self.n_source, self.n_target))
+        else:
+            # Dtype-policy-aware validation: the error names the active
+            # policy instead of hard-rejecting anything non-float64.
+            self.policy.validate_out(out, (self.n_source, self.n_target))
         if self.correction is None:
             for start, stop in self._chunk_bounds():
                 self.raw_block(start, stop, out=out[start:stop])
@@ -279,6 +292,8 @@ def chunked_score_matrix(
     n_neighbors: int = 10,
     chunk_rows: Optional[int] = None,
     out: Optional[np.ndarray] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Full (corrected) score matrix assembled with bounded temporaries."""
     scorer = ChunkedScorer(
@@ -288,6 +303,8 @@ def chunked_score_matrix(
         correction=correction,
         n_neighbors=n_neighbors,
         chunk_rows=chunk_rows,
+        policy=policy,
+        backend=backend,
     )
     return scorer.full_matrix(out=out)
 
@@ -299,8 +316,14 @@ def streaming_hubness_degrees(
     *,
     measure: str = "pearson",
     chunk_rows: Optional[int] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Hubness degree vectors without materialising the similarity matrix."""
+    """Hubness degree vectors without materialising the similarity matrix.
+
+    The vectors are float64 under every policy (reduction statistics
+    accumulate in ``accum_dtype``).
+    """
     scorer = ChunkedScorer(
         source_embeddings,
         target_embeddings,
@@ -308,6 +331,8 @@ def streaming_hubness_degrees(
         correction="lisi",
         n_neighbors=n_neighbors,
         chunk_rows=chunk_rows,
+        policy=policy,
+        backend=backend,
     )
     return scorer.hubness()
 
@@ -320,13 +345,15 @@ def chunked_mutual_nearest_neighbors(
     correction: Optional[str] = "lisi",
     n_neighbors: int = 10,
     chunk_rows: Optional[int] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> List[Tuple[int, int]]:
     """Trusted pairs (mutual argmaxes) in ``O(chunk_rows × n_t)`` memory.
 
     Bit-identical to running
     :func:`repro.similarity.matching.mutual_nearest_neighbors` on the dense
-    score matrix, including argmax tie behaviour (lowest index wins on both
-    axes).
+    score matrix of the same policy, including argmax tie behaviour (lowest
+    index wins on both axes).
     """
     scorer = ChunkedScorer(
         source_embeddings,
@@ -335,6 +362,8 @@ def chunked_mutual_nearest_neighbors(
         correction=correction,
         n_neighbors=n_neighbors,
         chunk_rows=chunk_rows,
+        policy=policy,
+        backend=backend,
     )
     if scorer.n_source == 0 or scorer.n_target == 0:
         return []
@@ -363,6 +392,8 @@ def chunked_top_k_indices(
     correction: Optional[str] = None,
     n_neighbors: int = 10,
     chunk_rows: Optional[int] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Per-row top-``k`` target indices without the full score matrix."""
     scorer = ChunkedScorer(
@@ -372,6 +403,8 @@ def chunked_top_k_indices(
         correction=correction,
         n_neighbors=n_neighbors,
         chunk_rows=chunk_rows,
+        policy=policy,
+        backend=backend,
     )
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -392,6 +425,8 @@ def chunked_greedy_match(
     correction: Optional[str] = None,
     n_neighbors: int = 10,
     chunk_rows: Optional[int] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> List[Tuple[int, int]]:
     """Greedy one-to-one matching in ``O(chunk_rows × n_t)`` memory.
 
@@ -407,6 +442,8 @@ def chunked_greedy_match(
         correction=correction,
         n_neighbors=n_neighbors,
         chunk_rows=chunk_rows,
+        policy=policy,
+        backend=backend,
     )
     if scorer.n_source == 0 or scorer.n_target == 0:
         return []

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend.precision import PolicyLike
 from repro.similarity.lisi import _hubness_corrected_matrix
 from repro.similarity.measures import cosine_similarity
 
@@ -32,6 +33,8 @@ def csls_matrix(
     *,
     chunk_rows: Optional[int] = None,
     out: Optional[np.ndarray] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """CSLS-adjusted cosine-similarity matrix between two embedding sets.
 
@@ -48,9 +51,13 @@ def csls_matrix(
         If set, assemble the matrix in bounded row chunks (bit-identical to
         the dense path); see :mod:`repro.similarity.chunked`.
     out:
-        Optional pre-allocated ``(n_s, n_t)`` float64 output buffer; the
-        result is written into it (a provided ``similarity`` is never
-        mutated unless it *is* ``out``).
+        Optional pre-allocated ``(n_s, n_t)`` output buffer in the active
+        policy's compute dtype — a mismatched buffer is rejected with an
+        error naming the policy; the result is written into it (a provided
+        ``similarity`` is never mutated unless it *is* ``out``).
+    policy, backend:
+        Precision policy and compute backend (see :mod:`repro.backend`);
+        the float64 default is bit-identical to the historical kernel.
     """
     return _hubness_corrected_matrix(
         source_embeddings,
@@ -62,6 +69,8 @@ def csls_matrix(
         measure="cosine",
         correction="csls",
         similarity_fn=cosine_similarity,
+        policy=policy,
+        backend=backend,
     )
 
 

@@ -9,6 +9,12 @@ similarity by the hubness of both endpoints:
 
 where ``D_t(h_s)`` is the mean similarity of ``h_s`` to its ``m`` nearest
 neighbours in the target space and ``D_s(h_t)`` the symmetric quantity.
+
+Hubness vectors are *reduction statistics*, so under every precision policy
+they are accumulated and stored in float64 (the policy's ``accum_dtype``):
+a float32 similarity matrix yields float64 hubness degrees, and the
+correction is applied with float64 operands cast on store — the
+compute-low/accumulate-high contract of :mod:`repro.backend.precision`.
 """
 
 from __future__ import annotations
@@ -17,11 +23,12 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backend.precision import PolicyLike, as_score_matrix
 from repro.similarity.measures import pearson_similarity
 
 
 def _row_hubness(similarity: np.ndarray, m: int) -> np.ndarray:
-    """Mean of the ``m`` largest entries of every row.
+    """Mean of the ``m`` largest entries of every row (float64 accumulated).
 
     Row-wise selection only touches the row's own entries, so the streaming
     kernels can call this per row chunk and obtain bit-identical values.
@@ -30,7 +37,7 @@ def _row_hubness(similarity: np.ndarray, m: int) -> np.ndarray:
     if m == 0 or similarity.shape[0] == 0:
         return np.zeros(similarity.shape[0], dtype=np.float64)
     top = np.partition(similarity, n_cols - m, axis=1)[:, n_cols - m:]
-    return top.mean(axis=1)
+    return top.mean(axis=1, dtype=np.float64)
 
 
 def _column_top_mean(top_block: np.ndarray) -> np.ndarray:
@@ -43,13 +50,16 @@ def _column_top_mean(top_block: np.ndarray) -> np.ndarray:
     """
     if top_block.shape[0] == 0:
         return np.zeros(top_block.shape[1], dtype=np.float64)
-    return np.sort(top_block, axis=0).mean(axis=0)
+    return np.sort(top_block, axis=0).mean(axis=0, dtype=np.float64)
 
 
 def hubness_degrees(
     similarity: np.ndarray, n_neighbors: int
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Mean similarity of each row/column to its top-``n_neighbors`` entries.
+
+    The similarity matrix keeps its (float32 or float64) dtype; the
+    returned hubness vectors are always float64.
 
     Returns
     -------
@@ -58,7 +68,7 @@ def hubness_degrees(
     target_hubness:
         ``(n_target,)`` — ``D_s(h_t)`` for every target node.
     """
-    similarity = np.asarray(similarity, dtype=np.float64)
+    similarity = as_score_matrix(similarity)
     if similarity.ndim != 2:
         raise ValueError("similarity must be a 2-D matrix")
     n_source, n_target = similarity.shape
@@ -91,7 +101,8 @@ def _apply_hubness_correction(
     :mod:`repro.similarity.chunked` — must perform these three elementwise
     operations in exactly this sequence for the bit-identity contract to
     hold; keep them here only.  ``out is similarity`` applies the correction
-    in place.
+    in place.  A float32 ``out`` receives float64-computed values cast on
+    store (numpy's in-place same-kind casting).
     """
     if out is None:
         out = np.empty_like(similarity)
@@ -115,6 +126,8 @@ def _hubness_corrected_matrix(
     measure: str,
     correction: str,
     similarity_fn,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Shared dense/chunked dispatch behind ``lisi_matrix``/``csls_matrix``."""
     if similarity is None and chunk_rows is not None:
@@ -128,10 +141,18 @@ def _hubness_corrected_matrix(
             n_neighbors=n_neighbors,
             chunk_rows=chunk_rows,
             out=out,
+            policy=policy,
+            backend=backend,
         )
     owns_buffer = similarity is None
     if owns_buffer:
-        similarity = similarity_fn(source_embeddings, target_embeddings, out=out)
+        similarity = similarity_fn(
+            source_embeddings,
+            target_embeddings,
+            out=out,
+            policy=policy,
+            backend=backend,
+        )
     source_hubness, target_hubness = hubness_degrees(similarity, n_neighbors)
     return _apply_hubness_correction(
         similarity,
@@ -149,6 +170,8 @@ def lisi_matrix(
     *,
     chunk_rows: Optional[int] = None,
     out: Optional[np.ndarray] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Compute the LISI alignment matrix between two embedding sets.
 
@@ -167,9 +190,13 @@ def lisi_matrix(
         memory to one chunk instead of a full extra ``(n_s, n_t)`` matrix.
         The result is bit-identical to the dense path.
     out:
-        Optional pre-allocated ``(n_s, n_t)`` float64 output buffer; the
-        result is written into it (a provided ``similarity`` is never
-        mutated unless it *is* ``out``).
+        Optional pre-allocated ``(n_s, n_t)`` output buffer in the policy's
+        compute dtype; the result is written into it (a provided
+        ``similarity`` is never mutated unless it *is* ``out``).
+    policy, backend:
+        Precision policy and compute backend (see
+        :mod:`repro.backend`); the float64 default is bit-identical to the
+        historical kernel.
     """
     return _hubness_corrected_matrix(
         source_embeddings,
@@ -181,6 +208,8 @@ def lisi_matrix(
         measure="pearson",
         correction="lisi",
         similarity_fn=pearson_similarity,
+        policy=policy,
+        backend=backend,
     )
 
 

@@ -1,4 +1,12 @@
-"""Matching rules that turn an alignment-score matrix into node pairs."""
+"""Matching rules that turn an alignment-score matrix into node pairs.
+
+Matching is dtype-preserving: a float32 score matrix (the
+:mod:`repro.backend` float32 policy) is selected over directly, without a
+densifying float64 copy; every other dtype is promoted to float64 exactly as
+before (see :func:`repro.backend.precision.as_score_matrix`).  Selection
+orders compare stored values, so results under either dtype follow the same
+total orders.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,8 @@ import heapq
 from typing import List, Tuple
 
 import numpy as np
+
+from repro.backend.precision import as_score_matrix
 
 
 def mutual_nearest_neighbors(score_matrix: np.ndarray) -> List[Tuple[int, int]]:
@@ -15,7 +25,7 @@ def mutual_nearest_neighbors(score_matrix: np.ndarray) -> List[Tuple[int, int]]:
     the best-scoring target for ``i`` *and* ``i`` is the best-scoring source
     for ``j`` (Eq. 12).
     """
-    scores = np.asarray(score_matrix, dtype=np.float64)
+    scores = as_score_matrix(score_matrix)
     if scores.ndim != 2 or scores.size == 0:
         return []
     best_target = scores.argmax(axis=1)
@@ -90,7 +100,7 @@ def greedy_match(score_matrix: np.ndarray) -> List[Tuple[int, int]]:
     without ever materialising the matrix
     (:func:`repro.similarity.chunked.chunked_greedy_match`).
     """
-    scores = np.asarray(score_matrix, dtype=np.float64)
+    scores = as_score_matrix(score_matrix)
     if scores.ndim != 2 or scores.size == 0:
         return []
     n_source, n_target = scores.shape
@@ -117,7 +127,7 @@ def top_k_indices(score_matrix: np.ndarray, k: int) -> np.ndarray:
     lets :class:`repro.serve.index.SparseTopKIndex` answer any ``k' <= k``
     query from a stored top-``k`` prefix bit-identically to the dense path.
     """
-    scores = np.asarray(score_matrix, dtype=np.float64)
+    scores = as_score_matrix(score_matrix)
     if scores.ndim != 2:
         raise ValueError("score_matrix must be 2-D")
     if k < 1:
@@ -163,7 +173,7 @@ def alignment_accuracy(
     Convenience wrapper used in quick tests; the full metrics live in
     :mod:`repro.eval.metrics`.
     """
-    scores = np.asarray(score_matrix, dtype=np.float64)
+    scores = as_score_matrix(score_matrix)
     ground_truth = np.asarray(ground_truth, dtype=np.int64)
     if scores.shape[0] != ground_truth.shape[0]:
         raise ValueError("ground truth length must equal the number of source nodes")

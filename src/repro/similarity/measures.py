@@ -9,6 +9,17 @@ shapes, so ``(a @ b)[s:e]`` and ``a[s:e] @ b`` can differ in the last ulp.
 By always issuing the same aligned ``(BLOCK_ROWS, d) x (d, n_t)`` products,
 every code path performs the exact same floating-point operations per output
 element, regardless of how many rows are materialised at a time.
+
+**Precision and backends.**  Every kernel takes a ``policy``
+(:class:`repro.backend.PrecisionPolicy` or a spec like ``"float32"``) and a
+``backend`` (a name in the shared compute registry,
+:mod:`repro.backend.compute`).  The default — float64 policy, numpy
+backend — performs exactly the historical operations and stays
+bit-identical; the float32 policy computes the factorisation statistics in
+float64 (the accumulation dtype), casts the ``O(n·d)`` factors down once,
+and runs the GEMMs and the ``(n_s, n_t)`` score matrix in float32 — half
+the peak memory and a measurably faster GEMM
+(``benchmarks/bench_precision.py``).
 """
 
 from __future__ import annotations
@@ -16,6 +27,9 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.backend.compute import get_compute_backend
+from repro.backend.precision import PolicyLike, PrecisionPolicy, resolve_policy
 
 #: Fixed GEMM window (rows).  Every similarity kernel — dense or chunked —
 #: computes score rows in windows of exactly this many rows, aligned to
@@ -36,9 +50,17 @@ def _validate_embeddings(source: np.ndarray, target: np.ndarray) -> tuple:
 
 
 def _pearson_factors(
-    source: np.ndarray, target: np.ndarray
+    source: np.ndarray,
+    target: np.ndarray,
+    policy: Optional[PrecisionPolicy] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Row-normalised factors whose product is the Pearson matrix."""
+    """Row-normalised factors whose product is the Pearson matrix.
+
+    Centering and normalisation always run in float64 (the accumulation
+    dtype); a non-exact policy only casts the finished ``O(n·d)`` factors,
+    so the cheap statistics keep full precision and the expensive GEMM
+    runs in the compute dtype.
+    """
     source_centered = source - source.mean(axis=1, keepdims=True)
     target_centered = target - target.mean(axis=1, keepdims=True)
     source_norm = np.linalg.norm(source_centered, axis=1, keepdims=True)
@@ -47,18 +69,26 @@ def _pearson_factors(
     target_norm[target_norm == 0] = 1.0
     source_centered /= source_norm
     target_centered /= target_norm
+    if policy is not None and not policy.is_exact:
+        return policy.cast(source_centered), policy.cast(target_centered)
     return source_centered, target_centered
 
 
 def _cosine_factors(
-    source: np.ndarray, target: np.ndarray
+    source: np.ndarray,
+    target: np.ndarray,
+    policy: Optional[PrecisionPolicy] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Row-normalised factors whose product is the cosine matrix."""
     source_norm = np.linalg.norm(source, axis=1, keepdims=True)
     target_norm = np.linalg.norm(target, axis=1, keepdims=True)
     source_norm[source_norm == 0] = 1.0
     target_norm[target_norm == 0] = 1.0
-    return source / source_norm, target / target_norm
+    source_factor = source / source_norm
+    target_factor = target / target_norm
+    if policy is not None and not policy.is_exact:
+        return policy.cast(source_factor), policy.cast(target_factor)
+    return source_factor, target_factor
 
 
 def _windowed_product(
@@ -67,14 +97,17 @@ def _windowed_product(
     out: np.ndarray,
     row_offset: int = 0,
     clip: bool = True,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Fill ``out`` with ``source_factor @ target_factor.T`` window by window.
 
     ``row_offset`` is the absolute row index of ``source_factor[0]`` in the
     full score matrix; windows are aligned to absolute multiples of
     :data:`BLOCK_ROWS` so that any row chunking whose boundaries are multiples
-    of the window produces identical GEMM calls.
+    of the window produces identical GEMM calls.  The GEMM itself is issued
+    through the selected compute backend (numpy by default).
     """
+    kernel = get_compute_backend(backend)
     n_rows = source_factor.shape[0]
     target_t = target_factor.T
     start = 0
@@ -82,24 +115,22 @@ def _windowed_product(
         # Align the window end to the next absolute BLOCK_ROWS boundary.
         absolute = row_offset + start
         stop = min(n_rows, start + BLOCK_ROWS - (absolute % BLOCK_ROWS))
-        np.matmul(source_factor[start:stop], target_t, out=out[start:stop])
+        kernel.matmul(source_factor[start:stop], target_t, out[start:stop])
         if clip:
-            np.clip(out[start:stop], -1.0, 1.0, out=out[start:stop])
+            kernel.clip(out[start:stop], -1.0, 1.0, out[start:stop])
         start = stop
     return out
 
 
 def _allocate_out(
-    out: Optional[np.ndarray], shape: Tuple[int, int]
+    out: Optional[np.ndarray],
+    shape: Tuple[int, int],
+    policy: Optional[PrecisionPolicy] = None,
 ) -> np.ndarray:
+    policy = resolve_policy(policy)
     if out is None:
-        return np.empty(shape, dtype=np.float64)
-    if out.shape != shape or out.dtype != np.float64:
-        raise ValueError(
-            f"out must be a float64 array of shape {shape}, "
-            f"got {out.dtype} {out.shape}"
-        )
-    return out
+        return policy.empty(shape)
+    return policy.validate_out(out, shape)
 
 
 def pearson_similarity(
@@ -108,6 +139,8 @@ def pearson_similarity(
     *,
     out: Optional[np.ndarray] = None,
     chunk_rows: Optional[int] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Pearson correlation between every source row and every target row.
 
@@ -119,13 +152,16 @@ def pearson_similarity(
     allocation is the peak memory either way).  ``chunk_rows`` is accepted for
     signature compatibility with the streaming kernels; the result is
     bit-identical for every value (see :mod:`repro.similarity.chunked` for
-    kernels that avoid materialising the matrix altogether).
+    kernels that avoid materialising the matrix altogether).  ``policy`` and
+    ``backend`` select the precision policy / compute backend (see the
+    module docstring).
     """
     del chunk_rows  # blocking is always window-aligned; results are identical
+    policy = resolve_policy(policy)
     source, target = _validate_embeddings(source, target)
-    out = _allocate_out(out, (source.shape[0], target.shape[0]))
-    source_factor, target_factor = _pearson_factors(source, target)
-    return _windowed_product(source_factor, target_factor, out)
+    out = _allocate_out(out, (source.shape[0], target.shape[0]), policy)
+    source_factor, target_factor = _pearson_factors(source, target, policy)
+    return _windowed_product(source_factor, target_factor, out, backend=backend)
 
 
 def cosine_similarity(
@@ -134,13 +170,16 @@ def cosine_similarity(
     *,
     out: Optional[np.ndarray] = None,
     chunk_rows: Optional[int] = None,
+    policy: PolicyLike = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Cosine similarity between every source row and every target row."""
     del chunk_rows  # blocking is always window-aligned; results are identical
+    policy = resolve_policy(policy)
     source, target = _validate_embeddings(source, target)
-    out = _allocate_out(out, (source.shape[0], target.shape[0]))
-    source_factor, target_factor = _cosine_factors(source, target)
-    return _windowed_product(source_factor, target_factor, out)
+    out = _allocate_out(out, (source.shape[0], target.shape[0]), policy)
+    source_factor, target_factor = _cosine_factors(source, target, policy)
+    return _windowed_product(source_factor, target_factor, out, backend=backend)
 
 
 def euclidean_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:

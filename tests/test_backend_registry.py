@@ -1,0 +1,177 @@
+"""Tests for the shared backend registry / compute-backend layer."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    AUTO_BACKEND,
+    BackendRegistry,
+    BackendUnavailableError,
+    ComputeBackend,
+    available_compute_backends,
+    compute_registry,
+    get_compute_backend,
+    get_registry,
+    registered_kinds,
+    resolve_compute_backend,
+)
+from repro.core import HTCConfig
+from repro.orbits import engine
+from repro.similarity import pearson_similarity
+
+
+class TestBackendRegistry:
+    def test_register_and_resolve(self):
+        registry = BackendRegistry("test-kind")
+        registry.register("slow", "slow-impl", priority=0)
+        registry.register("fast", "fast-impl", priority=10)
+        assert registry.names() == ("fast", "slow")
+        assert registry.available() == ("fast", "slow")
+        assert registry.default() == "fast"
+        assert registry.resolve(AUTO_BACKEND) == "fast"
+        assert registry.resolve("slow") == "slow"
+        assert registry.get("slow") == "slow-impl"
+        assert registry.get() == "fast-impl"
+
+    def test_priority_tie_breaks_alphabetically(self):
+        registry = BackendRegistry("ties")
+        registry.register("zeta", 1, priority=5)
+        registry.register("alpha", 2, priority=5)
+        assert registry.default() == "zeta"  # max((5,'zeta')) > (5,'alpha')
+
+    def test_auto_is_reserved(self):
+        registry = BackendRegistry("reserved")
+        with pytest.raises(ValueError, match="reserved"):
+            registry.register(AUTO_BACKEND, object())
+
+    def test_empty_name_rejected(self):
+        registry = BackendRegistry("empty")
+        with pytest.raises(ValueError, match="non-empty"):
+            registry.register("", object())
+
+    def test_unknown_backend_error_lists_choices(self):
+        registry = BackendRegistry("choices")
+        registry.register("numpy", object())
+        with pytest.raises(ValueError, match="unknown choices backend"):
+            registry.resolve("cuda")
+
+    def test_unavailable_backend(self):
+        registry = BackendRegistry("gated")
+        registry.register("base", "base-impl", priority=0)
+        registry.register("accel", "accel-impl", priority=10, available=False)
+        assert registry.names() == ("accel", "base")
+        assert registry.available() == ("base",)
+        assert registry.default() == "base"
+        with pytest.raises(BackendUnavailableError, match="not available"):
+            registry.resolve("accel")
+
+    def test_availability_predicate_is_lazy(self):
+        state = {"ready": False}
+        registry = BackendRegistry("lazy")
+        registry.register("base", 1, priority=0)
+        registry.register("accel", 2, priority=10, available=lambda: state["ready"])
+        assert registry.default() == "base"
+        state["ready"] = True
+        assert registry.default() == "accel"
+
+    def test_no_available_backend(self):
+        registry = BackendRegistry("void")
+        with pytest.raises(BackendUnavailableError, match="no void backend"):
+            registry.default()
+
+    def test_unregister(self):
+        registry = BackendRegistry("gone")
+        registry.register("x", 1)
+        registry.unregister("x")
+        assert registry.names() == ()
+        registry.unregister("x")  # idempotent
+
+    def test_get_registry_is_global_and_cached(self):
+        a = get_registry("shared-kind-test")
+        b = get_registry("shared-kind-test")
+        assert a is b
+        assert "shared-kind-test" in registered_kinds()
+
+
+class TestComputeRegistry:
+    def test_numpy_is_registered_and_default(self):
+        assert "numpy" in available_compute_backends()
+        assert resolve_compute_backend() == "numpy"
+        assert resolve_compute_backend("numpy") == "numpy"
+
+    def test_get_compute_backend_matmul(self):
+        kernel = get_compute_backend()
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        b = np.arange(12, dtype=np.float64).reshape(3, 4)
+        out = np.empty((2, 4))
+        assert np.array_equal(kernel.matmul(a, b, out), a @ b)
+
+    def test_custom_backend_flows_through_similarity(self):
+        calls = []
+
+        def counting_matmul(a, b, out):
+            calls.append(a.shape)
+            return np.matmul(a, b, out=out)
+
+        registry = compute_registry()
+        registry.register(
+            "counting", ComputeBackend(name="counting", matmul=counting_matmul)
+        )
+        try:
+            rng = np.random.default_rng(0)
+            s, t = rng.standard_normal((70, 8)), rng.standard_normal((50, 8))
+            got = pearson_similarity(s, t, backend="counting")
+            assert calls, "custom backend matmul was never invoked"
+            assert np.array_equal(got, pearson_similarity(s, t))
+        finally:
+            registry.unregister("counting")
+
+
+class TestOrbitRegistryIntegration:
+    def test_orbit_counters_registered_in_shared_registry(self):
+        registry = get_registry(engine.ORBIT_KIND)
+        assert "python" in registry.available()
+        assert set(registry.available()) == set(engine.available_backends())
+        assert registry.resolve(AUTO_BACKEND) == engine.DEFAULT_BACKEND
+
+    def test_shared_registry_impl_is_orbit_backend(self):
+        implementation = get_registry(engine.ORBIT_KIND).get("python")
+        assert isinstance(implementation, engine.OrbitBackend)
+        assert implementation.name == "python"
+
+    def test_non_orbit_impl_rejected_by_engine(self):
+        registry = get_registry(engine.ORBIT_KIND)
+        registry.register("bogus", "not-an-orbit-backend")
+        try:
+            from repro.graph.builders import from_edge_list
+
+            graph = from_edge_list([(0, 1)], n_nodes=2)
+            with pytest.raises(TypeError, match="not an OrbitBackend"):
+                engine.count_edge_orbits(graph, backend="bogus")
+        finally:
+            registry.unregister("bogus")
+
+
+class TestConfigBackendFields:
+    def test_defaults_validate(self):
+        config = HTCConfig()
+        assert config.compute_dtype == "float64"
+        assert config.backend == "auto"
+        assert config.precision_policy.is_exact
+
+    def test_float32_policy(self):
+        config = HTCConfig(compute_dtype="float32")
+        assert config.precision_policy.compute_dtype == np.dtype(np.float32)
+        assert config.precision_policy.accum_dtype == np.dtype(np.float64)
+
+    def test_bad_compute_dtype_rejected(self):
+        with pytest.raises(ValueError, match="precision policy"):
+            HTCConfig(compute_dtype="float16")
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError, match="compute backend"):
+            HTCConfig(backend="cuda")
+
+    def test_orbit_backend_alias_still_validates(self):
+        with pytest.raises(ValueError, match="orbit_backend"):
+            HTCConfig(orbit_backend="fortran")

@@ -151,8 +151,7 @@ class TestBackendSelection:
             assert engine.count_edge_orbits(graph, backend="fake", cache=cache).counts.sum() == 0
             assert engine.count_edge_orbits(graph, backend="python", cache=cache).counts.sum() > 0
         finally:
-            del engine._EDGE_BACKENDS["fake"]
-            del engine._NODE_BACKENDS["fake"]
+            engine.orbit_registry().unregister("fake")
 
     def test_register_auto_rejected(self):
         with pytest.raises(ValueError, match="reserved"):

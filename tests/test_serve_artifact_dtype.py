@@ -1,0 +1,170 @@
+"""Serve-artifact precision tests: dtype round-trip and schema gating."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.result import AlignmentResult
+from repro.serve import (
+    AlignmentService,
+    ArtifactSchemaError,
+    load_artifact,
+    save_artifact,
+    save_index_artifact,
+)
+from repro.serve.index import build_index
+from repro.similarity.matching import top_k_indices
+
+
+@pytest.fixture
+def float32_matrix():
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((80, 60)).astype(np.float32)
+
+
+class TestDtypeRoundTrip:
+    def test_manifest_records_dtype(self, tmp_path, float32_matrix):
+        info = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix),
+            root=tmp_path,
+            name="f32",
+        )
+        assert info.manifest["dtype"] == "float32"
+        assert info.manifest["index"]["score_dtype"] == "float32"
+        info64 = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix.astype(np.float64)),
+            root=tmp_path,
+            name="f64",
+        )
+        assert info64.manifest["dtype"] == "float64"
+
+    def test_full_load_preserves_float32(self, tmp_path, float32_matrix):
+        info = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix),
+            root=tmp_path,
+            name="f32",
+        )
+        artifact = load_artifact(tmp_path, info.artifact_id, mode="full")
+        assert artifact.dtype == "float32"
+        assert artifact.result.alignment_matrix.dtype == np.float32
+        assert np.array_equal(artifact.result.alignment_matrix, float32_matrix)
+        assert artifact.index.score_dtype == np.float32
+
+    def test_serve_mode_query_parity(self, tmp_path, float32_matrix):
+        info = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix),
+            root=tmp_path,
+            name="f32",
+        )
+        service = AlignmentService()
+        artifact_id = service.load(tmp_path, info.artifact_id)
+        rows = np.arange(float32_matrix.shape[0])
+        assert np.array_equal(
+            service.match(artifact_id, rows), float32_matrix.argmax(axis=1)
+        )
+        assert np.array_equal(
+            service.top_k(artifact_id, rows, 5),
+            top_k_indices(float32_matrix, 5),
+        )
+        assert np.array_equal(
+            service.reverse_match(artifact_id, np.arange(float32_matrix.shape[1])),
+            float32_matrix.argmax(axis=0),
+        )
+
+    def test_float32_artifact_is_smaller(self, tmp_path, float32_matrix):
+        info32 = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix),
+            root=tmp_path,
+            name="small",
+        )
+        info64 = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix.astype(np.float64)),
+            root=tmp_path,
+            name="large",
+        )
+        # Score arrays (forward + reverse) halve; int index arrays do not.
+        assert info32.index.scores.nbytes * 2 == info64.index.scores.nbytes
+        assert info32.index.nbytes < info64.index.nbytes
+        assert info32.disk_bytes < info64.disk_bytes
+
+    def test_integrity_hash_is_dtype_aware(self, tmp_path, float32_matrix):
+        # The same values at different dtypes must hash to different
+        # artifacts (the sha256 covers dtype + shape + bytes).
+        info32 = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix),
+            root=tmp_path,
+            name="pair",
+        )
+        info64 = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix.astype(np.float64)),
+            root=tmp_path,
+            name="pair",
+        )
+        assert info32.artifact_id != info64.artifact_id
+
+    def test_index_only_artifact_dtype(self, tmp_path, float32_matrix):
+        index = build_index(float32_matrix, k=6)
+        info = save_index_artifact(index, root=tmp_path, name="stitched-f32")
+        assert info.manifest["dtype"] == "float32"
+        artifact = load_artifact(tmp_path, info.artifact_id, mode="serve")
+        assert artifact.index.score_dtype == np.float32
+        assert np.array_equal(artifact.index.indices, index.indices)
+
+
+class TestMissingDtypeSchemaError:
+    def _strip_dtype(self, info):
+        manifest_path = info.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["dtype"]
+        manifest_path.write_text(json.dumps(manifest, indent=2))
+
+    def test_old_manifest_raises_clear_schema_error(self, tmp_path, float32_matrix):
+        info = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix),
+            root=tmp_path,
+            name="old",
+        )
+        self._strip_dtype(info)
+        with pytest.raises(ArtifactSchemaError, match="no 'dtype' field"):
+            load_artifact(tmp_path, info.artifact_id)
+        with pytest.raises(ArtifactSchemaError, match="Re-export"):
+            load_artifact(tmp_path, info.artifact_id, mode="serve")
+
+    def test_service_surfaces_schema_error(self, tmp_path, float32_matrix):
+        info = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix),
+            root=tmp_path,
+            name="old",
+        )
+        self._strip_dtype(info)
+        with pytest.raises(ArtifactSchemaError):
+            AlignmentService().load(tmp_path, info.artifact_id)
+
+    def test_pre_dtype_artifact_stays_discoverable(self, tmp_path, float32_matrix):
+        from repro.serve import list_artifacts
+
+        info = save_artifact(
+            AlignmentResult(alignment_matrix=float32_matrix),
+            root=tmp_path,
+            name="old",
+        )
+        self._strip_dtype(info)
+        # Listing must still surface the pre-1.1 artifact (so the operator
+        # can find the id whose load raises the re-export error) ...
+        listed = list_artifacts(tmp_path)
+        assert [m["artifact_id"] for m in listed] == [info.artifact_id]
+        assert "dtype" not in listed[0]
+        # ... while loading it is what fails.
+        with pytest.raises(ArtifactSchemaError):
+            load_artifact(tmp_path, info.artifact_id)
+
+    def test_resave_over_pre_dtype_artifact_rewrites(self, tmp_path, float32_matrix):
+        result = AlignmentResult(alignment_matrix=float32_matrix)
+        info = save_artifact(result, root=tmp_path, name="old")
+        self._strip_dtype(info)
+        # Saving the same content again must repair the directory rather
+        # than trip over the unreadable pre-dtype manifest.
+        repaired = save_artifact(result, root=tmp_path, name="old")
+        assert repaired.artifact_id == info.artifact_id
+        assert load_artifact(tmp_path, info.artifact_id).dtype == "float32"
