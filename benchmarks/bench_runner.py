@@ -3,13 +3,16 @@
 Three measurements back the ``repro.runner`` subsystem and the chunked
 similarity path:
 
-1. **Suite wall-clock, serial vs parallel.**  A real sweep (3 dataset pairs
-   × 3 methods) through ``run_suite`` with ``jobs=1`` and ``jobs=4``.  On a
-   multi-core machine the parallel run wins roughly linearly; on a 1-CPU
-   container CPU-bound jobs cannot speed up, so the report also includes a
-   *scheduler overlap* run with I/O-bound stand-in jobs (each sleeps a fixed
-   interval), which isolates what the pool itself buys: N sleeping jobs
-   complete in ~1/N of the serial wall-clock even on one core.
+1. **Suite wall-clock per executor backend.**  A real sweep (3 dataset
+   pairs × 3 methods) through ``run_suite`` once under the ``serial``
+   reference executor and once per pooled backend (``process-pool``,
+   ``thread-pool``, ``jobs=4`` each), recording each backend's wall clock
+   and real-job speedup over serial.  On a multi-core machine the pooled
+   runs win roughly linearly; on a 1-CPU container CPU-bound jobs cannot
+   speed up, so the report also includes a *scheduler overlap* run with
+   I/O-bound stand-in jobs (each sleeps a fixed interval), which isolates
+   what the pool itself buys: N sleeping jobs complete in ~1/N of the
+   serial wall-clock even on one core.
 2. **Dense vs chunked peak memory.**  ``tracemalloc``-traced peaks of the
    LISI → mutual-nearest-neighbour pipeline: dense (materialise the full
    score matrix) vs :func:`repro.similarity.chunked.chunked_mutual_nearest_neighbors`
@@ -89,24 +92,44 @@ def _real_suite(quick: bool) -> SuiteSpec:
     )
 
 
-def _run_suite_timed(suite, jobs, resolver=None):
+def _run_suite_timed(suite, jobs, resolver=None, executor=None):
     workdir = Path(tempfile.mkdtemp(prefix="bench-runner-"))
     try:
         start = time.perf_counter()
-        report = run_suite(suite, workdir, jobs=jobs, method_resolver=resolver)
+        report = run_suite(
+            suite, workdir, jobs=jobs, method_resolver=resolver, executor=executor
+        )
         elapsed = time.perf_counter() - start
         statuses = report.counts
+        resolved = report.executor
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
-    return elapsed, statuses
+    return elapsed, statuses, resolved
 
 
 def bench_suite(quick: bool) -> dict:
-    """Measurement 1: serial vs parallel suite execution."""
+    """Measurement 1: real-job wall-clock per executor backend."""
     suite = _real_suite(quick)
     n_jobs = len(suite.jobs())
-    serial_s, serial_counts = _run_suite_timed(suite, jobs=1)
-    parallel_s, parallel_counts = _run_suite_timed(suite, jobs=4)
+    serial_s, serial_counts, _ = _run_suite_timed(suite, jobs=1, executor="serial")
+    executors = {
+        "serial": {
+            "executor": "serial",
+            "workers": 1,
+            "wall_s": serial_s,
+            "speedup_vs_serial": 1.0,
+            "all_done": serial_counts == {"done": n_jobs},
+        }
+    }
+    for name in ("process-pool", "thread-pool"):
+        wall_s, counts, resolved = _run_suite_timed(suite, jobs=4, executor=name)
+        executors[name] = {
+            "executor": resolved,
+            "workers": 4,
+            "wall_s": wall_s,
+            "speedup_vs_serial": serial_s / wall_s if wall_s else float("nan"),
+            "all_done": counts == {"done": n_jobs},
+        }
 
     # Four *distinct* jobs (the grid keeps their spec hashes apart) whose
     # work is pure sleeping, so overlap is observable even on one core.
@@ -116,17 +139,19 @@ def bench_suite(quick: bool) -> dict:
         methods=["Sleep"],
         grid={"n_neighbors": [5, 6, 7, 8]},
     )
-    sleep_serial_s, _ = _run_suite_timed(sleep_suite, jobs=1, resolver=_sleep_resolver)
-    sleep_parallel_s, _ = _run_suite_timed(
-        sleep_suite, jobs=4, resolver=_sleep_resolver
+    sleep_serial_s, _, _ = _run_suite_timed(
+        sleep_suite, jobs=1, resolver=_sleep_resolver, executor="serial"
+    )
+    sleep_parallel_s, _, sleep_executor = _run_suite_timed(
+        sleep_suite, jobs=4, resolver=_sleep_resolver, executor="process-pool"
     )
     return {
         "n_jobs": n_jobs,
         "serial_s": serial_s,
-        "parallel4_s": parallel_s,
-        "speedup": serial_s / parallel_s if parallel_s else float("nan"),
-        "all_done": serial_counts == parallel_counts == {"done": n_jobs},
+        "executors": executors,
+        "all_done": all(entry["all_done"] for entry in executors.values()),
         "scheduler_overlap": {
+            "executor": sleep_executor,
             "n_jobs": 4,
             "sleep_per_job_s": SLEEP_SECONDS,
             "serial_s": sleep_serial_s,
@@ -234,13 +259,19 @@ def main(argv=None) -> int:
     greedy = bench_greedy_memory(args.quick)
 
     overlap = suite["scheduler_overlap"]
+    executor_lines = [
+        f"    {name:<13} wall {entry['wall_s']:6.2f}s  "
+        f"speedup {entry['speedup_vs_serial']:.2f}x  all done: {entry['all_done']}"
+        for name, entry in suite["executors"].items()
+    ]
     lines = [
         f"Suite runner and chunked kernels (cpus={cpus})",
         "",
-        f"[1] suite of {suite['n_jobs']} jobs (3 datasets x 3 methods):",
-        f"    jobs=1: {suite['serial_s']:.2f}s   jobs=4: {suite['parallel4_s']:.2f}s"
-        f"   speedup {suite['speedup']:.2f}x   all done: {suite['all_done']}",
-        f"    scheduler overlap (4 x {overlap['sleep_per_job_s']}s sleep jobs):"
+        f"[1] suite of {suite['n_jobs']} jobs (3 datasets x 3 methods) "
+        "per executor backend:",
+        *executor_lines,
+        f"    scheduler overlap (4 x {overlap['sleep_per_job_s']}s sleep jobs,"
+        f" {overlap['executor']}):"
         f" jobs=1 {overlap['serial_s']:.2f}s, jobs=4 {overlap['parallel4_s']:.2f}s"
         f" -> {overlap['speedup']:.2f}x",
         "",

@@ -15,7 +15,15 @@ compare the fresh numbers against the baselines:
   both full, detected from the recorded ``command``), because absolute
   numbers are not comparable across problem sizes.  The nightly full-mode
   run compares apples to apples; quick-mode PR runs still enforce every
-  invariant and floor.
+  invariant and floor.  The same guard applies to the recorded backend:
+  a relative check whose subtree names an ``executor``/``backend`` is
+  skipped when the baseline and the fresh run resolved different ones
+  (e.g. ``auto`` picking another executor on a different machine).
+
+A committed baseline that is missing a checked value is *schema-stale*
+(the benchmark script changed without regenerating its baseline); the
+gate fails with the exact regeneration command instead of silently
+skipping.
 
 Exit status 0 = no regression, 1 = at least one failed check.
 
@@ -55,6 +63,12 @@ CHECKS = {
     ],
     "BENCH_runner.json": [
         ("suite.all_done", "true", None),
+        ("suite.executors.serial.wall_s", "time", None),
+        ("suite.executors.process-pool.wall_s", "time", None),
+        ("suite.executors.thread-pool.wall_s", "time", None),
+        # Guarded by the backend check: only compared when both runs
+        # overlapped their sleep jobs through the same executor.
+        ("suite.scheduler_overlap.speedup", "rate", None),
         ("kernel_memory.identical", "true", None),
         ("kernel_memory.memory_ratio", "floor", 2.0),
         ("kernel_memory.chunked_s", "time", None),
@@ -86,7 +100,22 @@ CHECKS = {
         # relative check: the nightly full-size run enforces it.
         ("speedup", "rate", None),
         ("sharded.wall_s", "time", None),
+        ("stitch_phase.identical", "true", None),
+        ("stitch_phase.streaming_below_index", "true", None),
+        ("stitch_phase.memory_ratio", "floor", 2.0),
+        ("stitch_phase.streaming_s", "time", None),
     ],
+}
+
+#: How to rebuild each committed baseline (printed when one is missing or
+#: schema-stale; append ``--quick`` only for local smoke checks — committed
+#: baselines are full-mode).
+REGEN_COMMANDS = {
+    "BENCH_orbits.json": "python benchmarks/bench_orbit_counting.py",
+    "BENCH_runner.json": "python benchmarks/bench_runner.py",
+    "BENCH_serve.json": "python benchmarks/bench_serve.py",
+    "BENCH_precision.json": "python benchmarks/bench_precision.py",
+    "BENCH_shard.json": "python benchmarks/bench_shard.py",
 }
 
 
@@ -108,15 +137,46 @@ def same_mode(baseline: dict, fresh: dict) -> bool:
     return ("--quick" in baseline_cmd) == ("--quick" in fresh_cmd)
 
 
+def backend_context(payload, dotted_path):
+    """The innermost ``executor``/``backend`` name recorded along a path.
+
+    The backend analogue of :func:`same_mode`: a relative check under a
+    subtree that records which backend produced it (``"executor": ...`` or
+    ``"backend": ...``) is only comparable when the baseline and the fresh
+    run resolved the *same* one.  Returns ``None`` when no backend is
+    recorded anywhere along the path.
+    """
+    context = None
+    value = payload
+    for part in dotted_path.split(".") + [None]:
+        if isinstance(value, dict):
+            for key in ("executor", "backend"):
+                recorded = value.get(key)
+                if isinstance(recorded, str):
+                    context = recorded
+        if part is None:
+            break
+        try:
+            value = value[int(part)] if isinstance(value, list) else value[part]
+        except (KeyError, IndexError, TypeError, ValueError):
+            break
+    return context
+
+
 def check_file(name: str, baseline: dict, fresh: dict) -> list:
     """Run every check for one benchmark file; returns failure strings."""
     failures = []
     comparable = same_mode(baseline, fresh)
+    regen = REGEN_COMMANDS.get(name, f"the benchmark that writes {name}")
     for path, kind, floor in CHECKS[name]:
         try:
             fresh_value = lookup(fresh, path)
         except (KeyError, IndexError, TypeError, ValueError):
-            failures.append(f"{name}:{path}: missing from the fresh run")
+            failures.append(
+                f"{name}:{path}: missing from the fresh run "
+                f"(stale benchmark output? regenerate with `{regen}`)"
+            )
+            print(f"  [FAIL] {path}: missing from the fresh run")
             continue
         if kind == "true":
             status = "OK" if fresh_value else "FAIL"
@@ -139,10 +199,26 @@ def check_file(name: str, baseline: dict, fresh: dict) -> list:
         try:
             baseline_value = float(lookup(baseline, path))
         except (KeyError, IndexError, TypeError, ValueError):
-            print(f"  [SKIP] {path}: no baseline value")
+            if baseline:
+                failures.append(
+                    f"{name}:{path}: committed baseline is schema-stale "
+                    f"(missing this value); regenerate it with `{regen}` "
+                    f"and commit the refreshed {name}"
+                )
+                print(f"  [FAIL] {path}: baseline is schema-stale")
+            else:
+                print(f"  [SKIP] {path}: no baseline value")
             continue
         if not comparable:
             print(f"  [SKIP] {path}: baseline ran a different mode")
+            continue
+        baseline_backend = backend_context(baseline, path)
+        fresh_backend = backend_context(fresh, path)
+        if baseline_backend != fresh_backend:
+            print(
+                f"  [SKIP] {path}: baseline ran a different backend "
+                f"({baseline_backend} vs {fresh_backend})"
+            )
             continue
         fresh_value = float(fresh_value)
         if kind == "time":
@@ -192,9 +268,13 @@ def main(argv=None) -> int:
     for name in args.files:
         fresh_path = fresh_dir / name
         baseline_path = baseline_dir / name
+        regen = REGEN_COMMANDS.get(name, f"the benchmark that writes {name}")
         print(f"{name}:")
         if not fresh_path.is_file():
-            failures.append(f"{name}: fresh results missing at {fresh_path}")
+            failures.append(
+                f"{name}: fresh results missing at {fresh_path}; "
+                f"generate them with `{regen}` (use --quick for a smoke run)"
+            )
             print(f"  [FAIL] missing fresh results at {fresh_path}")
             continue
         fresh = json.loads(fresh_path.read_text())
@@ -204,7 +284,11 @@ def main(argv=None) -> int:
             else {}
         )
         if not baseline:
-            print("  [note] no committed baseline; floors/invariants only")
+            print(
+                "  [note] no committed baseline; floors/invariants only — "
+                f"regenerate with `{regen}` and commit {name} to restore "
+                "relative checks"
+            )
         failures.extend(check_file(name, baseline, fresh))
 
     print()

@@ -10,6 +10,10 @@ reproduction:
 * :mod:`repro.backend.compute` — the ``"compute"`` registry of dense
   linear-algebra kernels (GEMM, clip); ``numpy`` is the built-in default
   and accelerated implementations plug in via ``compute_registry()``,
+* :mod:`repro.backend.executor` — the ``"executor"`` registry of
+  job-execution strategies (``serial`` / ``process-pool`` /
+  ``thread-pool``) behind the :class:`ExecutorBackend` contract; the
+  suite runner and the shard pipeline submit their jobs through it,
 * :mod:`repro.backend.precision` — :class:`PrecisionPolicy`, the
   (compute dtype, accumulation dtype) pair threaded through the similarity
   kernels, the serve index/artifacts, the shard stitcher and the core
@@ -18,8 +22,8 @@ reproduction:
   float64.
 
 Select both knobs per run via :class:`repro.core.HTCConfig`
-(``compute_dtype=...``, ``backend=...``) or the CLI (``--dtype``,
-``--backend``).
+(``compute_dtype=...``, ``backend=...``, ``executor_backend=...``) or the
+CLI (``--dtype``, ``--backend``, ``--executor``).
 """
 
 from repro.backend.compute import (
@@ -28,6 +32,15 @@ from repro.backend.compute import (
     compute_registry,
     get_compute_backend,
     resolve_compute_backend,
+)
+from repro.backend.executor import (
+    EXECUTOR_KIND,
+    ExecutorBackend,
+    ExecutorJob,
+    available_executor_backends,
+    executor_registry,
+    get_executor_backend,
+    resolve_executor_backend,
 )
 from repro.backend.precision import (
     FLOAT32,
@@ -59,6 +72,13 @@ __all__ = [
     "available_compute_backends",
     "resolve_compute_backend",
     "get_compute_backend",
+    "EXECUTOR_KIND",
+    "ExecutorBackend",
+    "ExecutorJob",
+    "executor_registry",
+    "available_executor_backends",
+    "resolve_executor_backend",
+    "get_executor_backend",
     "PRECISIONS",
     "PrecisionPolicy",
     "FLOAT64",

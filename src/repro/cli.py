@@ -53,7 +53,11 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.backend import PRECISIONS, available_compute_backends
+from repro.backend import (
+    PRECISIONS,
+    available_compute_backends,
+    available_executor_backends,
+)
 from repro.baselines import PAPER_BASELINES, make_baseline
 from repro.core import HTCAligner, HTCConfig
 from repro.datasets import available_datasets, is_known_dataset, load_dataset
@@ -101,8 +105,11 @@ def _config_from_args(args: argparse.Namespace) -> HTCConfig:
     # Only set when given so the HTCConfig default stays the single source.
     if args.shard_overlap is not None:
         kwargs["shard_overlap"] = args.shard_overlap
+    if getattr(args, "stitch", "memory") != "memory":
+        kwargs["extra"] = {"stitch": args.stitch}
     return HTCConfig(
         orbits=orbits,
+        executor_backend=args.executor,
         embedding_dim=args.dim,
         epochs=args.epochs,
         n_neighbors=args.neighbors,
@@ -179,6 +186,22 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="HOPS",
         help="BFS hops of boundary overlap around every shard (default: 1)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=("auto",) + available_executor_backends(),
+        default="auto",
+        help="job-execution backend for suites and sharded alignment "
+        "(auto = process pool when available; execution-only, results "
+        "and spec hashes are identical across backends)",
+    )
+    parser.add_argument(
+        "--stitch",
+        choices=("memory", "streaming"),
+        default="memory",
+        help="sharded-stitch strategy: memory (dense per-shard matrices, "
+        "one process) or streaming (merge the per-shard sparse indexes "
+        "chunk-by-chunk out of core; identical results)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--runs", type=int, default=1, help="repetitions to average over")
 
@@ -225,7 +248,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite = subparsers.add_parser(
         "run-suite",
-        help="execute a dataset × method × config sweep on a process pool",
+        help="execute a dataset × method × config sweep on a pluggable "
+        "executor backend",
     )
     suite.add_argument(
         "--suite",
@@ -247,7 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes (1 = inline, 0 = CPU count)",
+        help="worker slots for the executor backend (1 = inline under "
+        "auto, 0 = CPU count)",
     )
     suite.add_argument(
         "--resume",
@@ -447,6 +472,8 @@ def _suite_from_args(args: argparse.Namespace) -> SuiteSpec:
         config["shard_count"] = args.shards
     if args.shard_overlap is not None:
         config["shard_overlap"] = args.shard_overlap
+    # The executor rides on the SuiteSpec, never in the job config: spec
+    # hashes (and --resume caches) are identical across executor backends.
     return SuiteSpec(
         name=args.name,
         datasets=datasets,
@@ -455,6 +482,7 @@ def _suite_from_args(args: argparse.Namespace) -> SuiteSpec:
         n_runs=args.runs,
         seed=args.seed,
         timeout=args.timeout,
+        executor_backend=args.executor,
     )
 
 
@@ -467,13 +495,16 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         resume=args.resume,
         timeout=args.timeout,
         emit_artifacts=args.emit_artifacts,
+        # A non-default --executor also overrides a suite file's choice.
+        executor=args.executor if args.executor != "auto" else None,
     )
     print(report.table())
     counts = report.counts
     summary = ", ".join(f"{status}: {count}" for status, count in sorted(counts.items()))
     print(
         f"\n{len(report.artifacts)} jobs ({summary}) in "
-        f"{report.wall_clock_seconds:.2f}s with {report.workers} worker(s)"
+        f"{report.wall_clock_seconds:.2f}s with {report.workers} worker(s) "
+        f"[{report.executor} executor]"
     )
     print(f"[manifest written to {report.manifest_path}]")
     if args.emit_artifacts:

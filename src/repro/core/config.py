@@ -10,10 +10,12 @@ plain configuration fields.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple, Union
 
 from repro.backend.compute import resolve_compute_backend
+from repro.backend.executor import executor_registry
 from repro.backend.precision import PrecisionPolicy, resolve_policy
 from repro.orbits.cache import resolve_cache
 from repro.orbits.engine import AUTO_BACKEND, orbit_registry
@@ -22,6 +24,26 @@ from repro.utils.random import RandomStateLike
 
 #: Valid values for :attr:`HTCConfig.topology_mode`.
 TOPOLOGY_MODES = ("orbit", "adjacency", "diffusion")
+
+#: Warn-once latch for the ``orbit_backend`` deprecation (PR 5 made the
+#: field an alias for the shared ``"orbit"`` registry kind).  Module-level
+#: so the warning fires once per process, not once per config.
+_ORBIT_BACKEND_WARNED = False
+
+
+def _warn_orbit_backend_deprecated() -> None:
+    global _ORBIT_BACKEND_WARNED
+    if _ORBIT_BACKEND_WARNED:
+        return
+    _ORBIT_BACKEND_WARNED = True
+    warnings.warn(
+        "HTCConfig.orbit_backend is a deprecated alias for the shared "
+        '"orbit" backend registry (repro.backend.get_registry("orbit")); '
+        "it keeps resolving through that registry, but new code should "
+        "register/select orbit counters via repro.orbits.engine instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -109,6 +131,12 @@ class HTCConfig:
         BFS hops of boundary overlap added around every shard (sharded mode
         only).  Overlapping shards give the stitcher multiple scored
         opinions about boundary nodes; ``0`` disables the overlap ring.
+    executor_backend:
+        Job-execution strategy for sharded alignment (and any suite this
+        config rides in): ``"auto"`` (default), or a name registered under
+        the shared ``"executor"`` kind — ``"serial"``, ``"process-pool"``,
+        ``"thread-pool"`` (:mod:`repro.backend.executor`).  Execution-only:
+        it never changes results, job spec hashes, or resume artifacts.
     diffusion_orders, diffusion_alpha:
         Settings of the diffusion family used when ``topology_mode ==
         "diffusion"``.
@@ -139,6 +167,7 @@ class HTCConfig:
     score_chunk_size: Optional[int] = None
     shard_count: Optional[int] = None
     shard_overlap: int = 1
+    executor_backend: str = AUTO_BACKEND
     diffusion_orders: Tuple[int, ...] = (1, 2, 3, 4, 5)
     diffusion_alpha: float = 0.15
     random_state: RandomStateLike = 0
@@ -196,6 +225,14 @@ class HTCConfig:
             raise ValueError(
                 f"orbit_backend must be one of {valid_backends}, "
                 f"got {self.orbit_backend!r}"
+            )
+        if self.orbit_backend != AUTO_BACKEND:
+            _warn_orbit_backend_deprecated()
+        valid_executors = (AUTO_BACKEND,) + executor_registry().available()
+        if self.executor_backend not in valid_executors:
+            raise ValueError(
+                f"executor_backend must be one of {valid_executors}, "
+                f"got {self.executor_backend!r}"
             )
         # Both knobs of the shared backend/precision layer fail fast here so
         # a bad CLI/suite value surfaces before any training happens.

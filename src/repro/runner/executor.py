@@ -1,20 +1,28 @@
-"""Process-pool execution of experiment suites.
+"""Suite execution over the pluggable ``"executor"`` backend layer.
 
 ``run_suite`` expands a :class:`~repro.runner.spec.SuiteSpec` into jobs and
-executes them either inline (``jobs=1``) or on a
-:class:`concurrent.futures.ProcessPoolExecutor`.  Every job produces one JSON
-artifact under ``<output_dir>/<suite>/jobs/``; the suite manifest
-(``manifest.json``) records the job statuses and wall clock.  With
-``resume=True``, jobs whose artifact already exists, carries the current spec
-hash and finished successfully are skipped — so an interrupted sweep restarts
-from where it stopped, and editing any job knob re-runs exactly the affected
-jobs.
+submits them through an :class:`repro.backend.executor.ExecutorBackend` —
+``serial`` (inline, deterministic), ``process-pool`` (the historical local
+pool) or ``thread-pool`` (daemon threads, external timeout enforcement) —
+selected via ``SuiteSpec.executor_backend``, the ``executor`` argument or
+``"auto"`` resolution.  Every job produces one JSON artifact under
+``<output_dir>/<suite>/jobs/``; the suite manifest (``manifest.json``)
+records the job statuses, the executor that produced the run and the wall
+clock.  With ``resume=True``, jobs whose artifact already exists, carries
+the current spec hash and finished successfully are skipped — so an
+interrupted sweep restarts from where it stopped, and editing any job knob
+re-runs exactly the affected jobs.  The executor choice never enters the
+job specs, so spec hashes (and therefore ``--resume`` and artifact
+identity) are invariant across backends.
 
-Per-job timeouts are enforced *inside* the worker with ``SIGALRM`` (Unix), so
-a job stuck in Python code turns into a ``timeout`` artifact instead of
-wedging the pool.  Caveat: the alarm is delivered between bytecodes, so a job
-blocked inside one long native call (a huge BLAS GEMM, a scipy solver) is
-only interrupted when that call returns.
+Under ``serial`` and ``process-pool``, per-job timeouts are enforced
+*inside* the job with ``SIGALRM`` (Unix), so a job stuck in Python code
+turns into a ``timeout`` artifact instead of wedging the pool.  Caveat: the
+alarm is delivered between bytecodes, so a job blocked inside one long
+native call (a huge BLAS GEMM, a scipy solver) is only interrupted when
+that call returns.  Under ``thread-pool`` the budget is enforced outside
+the job (``SIGALRM`` is main-thread-only), which also covers platforms
+without ``SIGALRM``.
 """
 
 from __future__ import annotations
@@ -24,11 +32,17 @@ import os
 import signal
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.backend.executor import (
+    SERIAL,
+    ExecutorJob,
+    get_executor_backend,
+    resolve_executor_backend,
+)
+from repro.backend.registry import AUTO_BACKEND
 from repro.runner.spec import JobSpec, SuiteSpec
 from repro.utils.logging import get_logger
 
@@ -73,7 +87,8 @@ def resolve_method(name: str, config) -> object:
         if getattr(config, "shard_count", None):
             from repro.shard.executor import ShardedAligner
 
-            return ShardedAligner(config)
+            stitch = str(getattr(config, "extra", {}).get("stitch", "memory"))
+            return ShardedAligner(config, stitch=stitch)
         return HTCAligner(config)
     if name in _htc_variant_names():
         return make_variant(name, config)
@@ -227,6 +242,7 @@ class SuiteRunReport:
     wall_clock_seconds: float = 0.0
     jobs_requested: int = 0
     workers: int = 1
+    executor: str = SERIAL
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -259,6 +275,7 @@ def run_suite(
     method_resolver: Optional[Callable[[str, object], object]] = None,
     on_job_done: Optional[Callable[[Dict[str, object]], None]] = None,
     emit_artifacts: bool = False,
+    executor: Optional[str] = None,
 ) -> SuiteRunReport:
     """Execute every job of ``suite`` and return the run report.
 
@@ -270,8 +287,8 @@ def run_suite(
         Root artifact directory; this run writes under
         ``<output_dir>/<suite.name>/``.
     jobs:
-        Worker processes.  ``1`` runs inline (no pool); ``<= 0`` uses the CPU
-        count.
+        Worker slots (processes or threads, per the executor backend).
+        ``1`` runs inline under ``"auto"``; ``<= 0`` uses the CPU count.
     resume:
         Skip jobs whose artifact exists, matches the current spec hash, and
         completed successfully.
@@ -280,7 +297,7 @@ def run_suite(
         when given.
     method_resolver:
         Optional replacement for :func:`resolve_method` (must be a picklable
-        module-level callable when ``jobs > 1``).
+        module-level callable under the ``process-pool`` executor).
     on_job_done:
         Optional callback invoked with each artifact as it completes.
     emit_artifacts:
@@ -288,6 +305,15 @@ def run_suite(
         under ``<suite_dir>/serve_artifacts/`` (queryable via
         :class:`repro.serve.service.AlignmentService` and the ``query``
         CLI subcommand).
+    executor:
+        Executor backend name (``"serial"`` / ``"process-pool"`` /
+        ``"thread-pool"`` / ``"auto"``); overrides
+        ``suite.executor_backend`` when given.  Under ``"auto"``, a run
+        with one worker or at most one pending job resolves to ``serial``
+        (the historical inline path — also what keeps non-picklable
+        ``method_resolver`` callables working), anything larger to the
+        registry default.  The choice is recorded in the manifest but never
+        in the job specs, so spec hashes match across executors.
     """
     if jobs <= 0:
         jobs = os.cpu_count() or 1
@@ -343,35 +369,54 @@ def run_suite(
             artifact.get("wall_seconds", 0.0),
         )
 
-    if jobs == 1 or len(pending) <= 1:
-        for job in pending:
-            _record(execute_job(job.to_dict(), timeout, method_resolver, serve_dir))
+    requested = executor if executor is not None else suite.executor_backend
+    if requested in (None, "", AUTO_BACKEND) and (jobs == 1 or len(pending) <= 1):
+        # The historical inline path: deterministic, zero overhead, and the
+        # only mode where a non-picklable method_resolver is usable.
+        resolved_executor = SERIAL
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(
-                    execute_job, job.to_dict(), timeout, method_resolver, serve_dir
-                ): job
-                for job in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    job = futures[future]
-                    try:
-                        artifact = future.result()
-                    except Exception as error:  # pool/pickling failure
-                        artifact = {
-                            "job_id": job.job_id,
-                            "spec": job.to_dict(),
-                            "spec_hash": job.hash,
-                            "status": STATUS_FAILED,
-                            "result": None,
-                            "error": f"worker crashed: {error}",
-                            "wall_seconds": 0.0,
-                        }
-                    _record(artifact)
+        resolved_executor = resolve_executor_backend(requested or AUTO_BACKEND)
+    backend = get_executor_backend(resolved_executor)
+
+    by_key = {job.job_id: job for job in pending}
+
+    def _skeleton(job: JobSpec, status: str, error: str) -> Dict[str, object]:
+        return {
+            "job_id": job.job_id,
+            "spec": job.to_dict(),
+            "spec_hash": job.hash,
+            "repro_version": __version__,
+            "status": status,
+            "result": None,
+            "error": error,
+            "wall_seconds": 0.0,
+        }
+
+    backend.submit_jobs(
+        [
+            ExecutorJob(
+                key=job.job_id,
+                fn=execute_job,
+                args=(job.to_dict(),),
+                kwargs={
+                    "method_resolver": method_resolver,
+                    "emit_artifacts_dir": serve_dir,
+                },
+            )
+            for job in pending
+        ],
+        workers=jobs,
+        timeout=timeout,
+        on_result=lambda key, artifact: _record(artifact),
+        on_crash=lambda exec_job, message: _skeleton(
+            by_key[exec_job.key], STATUS_FAILED, f"worker crashed: {message}"
+        ),
+        on_timeout=lambda exec_job: _skeleton(
+            by_key[exec_job.key],
+            STATUS_TIMEOUT,
+            f"job exceeded the {timeout}s wall-clock budget",
+        ),
+    )
 
     wall_clock = time.perf_counter() - started
     # Keep manifest rows in the suite's deterministic job order.
@@ -381,6 +426,7 @@ def run_suite(
         "suite": suite.to_dict(),
         "repro_version": __version__,
         "workers": jobs,
+        "executor": resolved_executor,
         "resume": resume,
         "emit_artifacts": emit_artifacts,
         "timeout": timeout,
@@ -412,6 +458,7 @@ def run_suite(
         wall_clock_seconds=wall_clock,
         jobs_requested=len(job_specs),
         workers=jobs,
+        executor=resolved_executor,
     )
 
 

@@ -139,6 +139,13 @@ class SuiteSpec:
         Forwarded to :func:`repro.eval.protocol.run_method`.
     timeout:
         Per-job wall-clock limit in seconds (``None`` = unlimited).
+    executor_backend:
+        Job-execution strategy for the whole suite (a name registered
+        under the ``"executor"`` kind — ``serial`` / ``process-pool`` /
+        ``thread-pool`` — or ``"auto"``).  Deliberately *not* part of any
+        :class:`JobSpec`: the executor changes how jobs run, never what
+        they compute, so spec hashes and ``--resume`` artifacts stay valid
+        when switching backends.
     """
 
     name: str
@@ -150,6 +157,7 @@ class SuiteSpec:
     train_ratio: float = 0.1
     seed: int = 0
     timeout: Optional[float] = None
+    executor_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -226,6 +234,7 @@ class SuiteSpec:
             "train_ratio": self.train_ratio,
             "seed": self.seed,
             "timeout": self.timeout,
+            "executor_backend": self.executor_backend,
         }
 
     @classmethod
@@ -246,6 +255,7 @@ class SuiteSpec:
                 if payload.get("timeout") is None
                 else float(payload["timeout"])
             ),
+            executor_backend=str(payload.get("executor_backend", "auto")),
         )
 
     @classmethod

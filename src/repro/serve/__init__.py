@@ -34,6 +34,7 @@ from repro.serve.artifacts import (
 )
 from repro.serve.index import (
     SparseTopKIndex,
+    StreamedIndexAssembler,
     build_index,
     build_index_from_embeddings,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "load_artifact",
     "list_artifacts",
     "SparseTopKIndex",
+    "StreamedIndexAssembler",
     "build_index",
     "build_index_from_embeddings",
     "AlignmentService",

@@ -10,10 +10,14 @@ pairs far beyond that envelope in three stages:
    structural/attribute signatures,
 2. :mod:`repro.shard.executor` — per-shard-pair :class:`~repro.core.HTCAligner`
    jobs executed through the existing :mod:`repro.runner` machinery
-   (spec-hashed artifacts, process pool, ``resume``),
+   (spec-hashed artifacts, the pluggable ``"executor"`` backends,
+   ``resume``),
 3. :mod:`repro.shard.stitch` — merging the per-shard results into one global
    sparse alignment with deterministic boundary-conflict resolution and an
-   optional seed-consistency refinement pass.
+   optional seed-consistency refinement pass; :mod:`repro.shard.streaming`
+   performs the same merge out of core (chunked spill-to-disk over the
+   per-shard serve indexes) so the global index is never resident in one
+   process.
 
 Wire-up: ``HTCConfig(shard_count=..., shard_overlap=...)``, the CLI
 (``align --shards N``), ``run-suite`` (any HTC job whose config sets
@@ -39,6 +43,10 @@ from repro.shard.stitch import (
     refine_stitched,
     stitch_alignments,
 )
+from repro.shard.streaming import (
+    DEFAULT_ROW_WINDOW,
+    stitch_alignments_streaming,
+)
 
 __all__ = [
     "Partition",
@@ -56,4 +64,6 @@ __all__ = [
     "StitchedAlignment",
     "stitch_alignments",
     "refine_stitched",
+    "DEFAULT_ROW_WINDOW",
+    "stitch_alignments_streaming",
 ]

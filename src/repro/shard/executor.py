@@ -44,6 +44,7 @@ from repro.shard.stitch import (
     refine_stitched,
     stitch_alignments,
 )
+from repro.shard.streaming import stitch_alignments_streaming
 from repro.utils.logging import get_logger
 from repro.utils.naming import slugify
 
@@ -54,11 +55,13 @@ def _shard_config_overrides(config: HTCConfig) -> Dict[str, object]:
     """The per-shard job config: the full config minus the shard knobs.
 
     Stripping ``shard_count`` is what stops the per-shard jobs from
-    recursing into another sharded run.
+    recursing into another sharded run.  ``executor_backend`` is stripped
+    too: it changes how jobs run, never what they compute, so it must not
+    enter the job specs (spec hashes stay identical across executors).
     """
     overrides: Dict[str, object] = {}
     for spec in dataclasses.fields(config):
-        if spec.name in ("shard_count", "shard_overlap", "extra"):
+        if spec.name in ("shard_count", "shard_overlap", "executor_backend", "extra"):
             continue
         value = getattr(config, spec.name)
         if spec.name == "orbit_cache" and not isinstance(value, (bool, str)):
@@ -86,6 +89,8 @@ def align_sharded(
     reverse_k: Optional[int] = None,
     refine_iterations: int = 3,
     refine_alpha: float = 0.2,
+    executor: Optional[str] = None,
+    stitch: str = "memory",
 ) -> StitchedAlignment:
     """Partition ``pair``, align every shard pair, stitch the results.
 
@@ -113,7 +118,23 @@ def align_sharded(
     refine_iterations, refine_alpha:
         Seed-consistency refinement passes over the stitched candidates
         (``0`` disables; see :func:`repro.shard.stitch.refine_stitched`).
+    executor:
+        Executor backend for the shard suite (``"serial"`` /
+        ``"process-pool"`` / ``"thread-pool"`` / ``"auto"``); defaults to
+        ``config.executor_backend``.  Execution-only — shard job spec
+        hashes and resume artifacts are identical across backends.
+    stitch:
+        ``"memory"`` (default) stitches from the dense per-shard matrices
+        in one process; ``"streaming"`` merges the per-shard sparse serve
+        indexes chunk-by-chunk out of core
+        (:func:`repro.shard.streaming.stitch_alignments_streaming`) —
+        identical results, with the global index never resident while
+        being assembled.
     """
+    if stitch not in ("memory", "streaming"):
+        raise ValueError(
+            f'stitch must be "memory" or "streaming", got {stitch!r}'
+        )
     config = config if config is not None else HTCConfig()
     n_shards = shard_count if shard_count is not None else config.shard_count
     if n_shards is None:
@@ -156,12 +177,15 @@ def align_sharded(
             resume=resume,
             timeout=timeout,
             emit_artifacts=True,
+            executor=executor if executor is not None else config.executor_backend,
         )
         align_s = time.perf_counter() - started
 
         by_dataset = {str(a["spec"]["dataset"]): a for a in report.artifacts}
         store = report.suite_dir / "serve_artifacts"
+        load_mode = "serve" if stitch == "streaming" else "full"
         matrices = []
+        index_sources = []
         shard_stats: List[Dict[str, object]] = []
         failures = []
         for shard_pair, dataset in zip(plan.pairs, dataset_names):
@@ -177,10 +201,9 @@ def align_sharded(
             }
             if artifact and status in (STATUS_DONE, STATUS_CACHED):
                 serve_info = artifact.get("serve_artifact") or {}
+                artifact_id = str(serve_info.get("artifact_id"))
                 try:
-                    loaded = load_artifact(
-                        store, str(serve_info.get("artifact_id")), mode="full"
-                    )
+                    loaded = load_artifact(store, artifact_id, mode=load_mode)
                 except (OSError, ValueError) as error:
                     # Covers a pruned serve_artifacts directory, a cached
                     # job without the serve_artifact key, and corrupt or
@@ -193,7 +216,18 @@ def align_sharded(
                     )
                     shard_stats.append(stats)
                     continue
-                matrices.append(loaded.result.alignment_matrix)
+                if stitch == "streaming":
+                    # Only validated here; the stitcher re-loads the index
+                    # lazily so at most one shard is resident during spill.
+                    stats["serve_artifact"] = artifact_id
+                    index_sources.append(
+                        lambda store=store, aid=artifact_id: load_artifact(
+                            store, aid, mode="serve"
+                        ).index
+                    )
+                    del loaded
+                else:
+                    matrices.append(loaded.result.alignment_matrix)
                 result = artifact.get("result") or {}
                 stats["metrics"] = dict(result.get("metrics", {}))
             else:
@@ -209,14 +243,25 @@ def align_sharded(
             )
 
         started = time.perf_counter()
-        stitched = stitch_alignments(
-            plan,
-            matrices,
-            pair.source.n_nodes,
-            pair.target.n_nodes,
-            k=index_k,
-            reverse_k=reverse_k,
-        )
+        if stitch == "streaming":
+            stitched = stitch_alignments_streaming(
+                plan,
+                index_sources,
+                pair.source.n_nodes,
+                pair.target.n_nodes,
+                k=index_k,
+                reverse_k=reverse_k,
+                workdir=workdir / "stitch_stream",
+            )
+        else:
+            stitched = stitch_alignments(
+                plan,
+                matrices,
+                pair.source.n_nodes,
+                pair.target.n_nodes,
+                k=index_k,
+                reverse_k=reverse_k,
+            )
         stitch_s = time.perf_counter() - started
 
         refine_s = 0.0
@@ -272,6 +317,8 @@ class ShardedAligner:
         resume: bool = False,
         index_k: int = DEFAULT_INDEX_K,
         refine_iterations: int = 3,
+        executor: Optional[str] = None,
+        stitch: str = "memory",
     ) -> None:
         config = config if config is not None else HTCConfig()
         if config.shard_count is None:
@@ -282,6 +329,8 @@ class ShardedAligner:
         self.resume = resume
         self.index_k = index_k
         self.refine_iterations = refine_iterations
+        self.executor = executor
+        self.stitch = stitch
         self.last_stitched_: Optional[StitchedAlignment] = None
 
     def align(self, pair: GraphPair, train_anchors=None) -> AlignmentResult:
@@ -294,6 +343,8 @@ class ShardedAligner:
             resume=self.resume,
             index_k=self.index_k,
             refine_iterations=self.refine_iterations,
+            executor=self.executor,
+            stitch=self.stitch,
         )
         self.last_stitched_ = stitched
         return stitched.to_result()

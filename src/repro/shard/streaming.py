@@ -1,0 +1,332 @@
+"""Streaming, out-of-core stitch of per-shard sparse top-k indexes.
+
+:func:`repro.shard.stitch.stitch_alignments` holds every shard's dense score
+matrix *and* the assembled global index in memory at once — fine for the
+4-shard bench envelope, a wall for anything bigger.  This module rebuilds the
+stitch as a two-phase external merge whose working set is one shard index
+plus one row window:
+
+**Phase A — spill.**  Shard results are consumed one at a time as the sparse
+top-k serve indexes the shard jobs already emit (``mode="serve"``; the dense
+matrices are never loaded).  Each shard's candidate triples — the same
+*(global row, global col, score)* set the in-memory stitch extracts, because
+a serve index row is exactly the dense row's top-``k`` prefix under the
+total order *(score desc, index asc)* — are bucketed by global-row window
+and appended to per-``(side, window, shard)`` ``npz`` chunks on disk.
+
+**Phase B — merge.**  Windows are processed in order: a window's chunks are
+concatenated, folded with the shared
+:func:`repro.shard.stitch._assemble_side` (the same *(score desc, target
+asc, shard asc)* conflict order, so results are bit-identical to the
+in-memory stitch), written through a
+:class:`repro.serve.index.StreamedIndexAssembler` into disk-backed output
+arrays, and the window's chunks are deleted.  The finished
+:class:`~repro.serve.index.SparseTopKIndex` is memmap-backed: the global
+index is never resident in this process.
+
+Duplicate counts and multi-shard-source counts partition cleanly across row
+windows, so :class:`~repro.shard.stitch.StitchedAlignment` bookkeeping
+(``conflicts_resolved``, ``multi_shard_sources``) matches the in-memory
+stitch exactly.
+
+Requires POSIX memmap semantics for the temporary-``workdir`` case (the
+backing files may be unlinked while mapped), like the runner's ``SIGALRM``
+timeouts.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serve.index import DEFAULT_INDEX_K, SparseTopKIndex, StreamedIndexAssembler
+from repro.shard.partition import ShardPlan
+from repro.shard.stitch import StitchedAlignment, _assemble_side
+
+#: Default number of global rows merged per window.
+DEFAULT_ROW_WINDOW = 512
+
+#: A shard's stitch input: a serve index, or a zero-argument loader for one
+#: (loaders keep at most one shard index resident during the spill phase).
+ShardIndexSource = Union[SparseTopKIndex, Callable[[], SparseTopKIndex]]
+
+
+def _shard_index_candidates(
+    index: SparseTopKIndex,
+    shard_pair,
+    width: int,
+    reverse: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One shard's (global row, global col, score) triples for one side.
+
+    Equals what :func:`repro.shard.stitch._candidates_from_shards` extracts
+    from the dense matrix, because the serve index stores each row's
+    top-``k`` prefix in the same total order.  Raises if the stored index is
+    narrower than the stitch needs (the artifact must be re-exported with a
+    larger ``index_k``).
+    """
+    if reverse:
+        local, stored = index.reverse_indices, index.reverse_scores
+        n_rows_local, n_cols_local = index.shape[1], index.shape[0]
+        row_ids, col_ids = shard_pair.target_nodes, shard_pair.source_nodes
+    else:
+        local, stored = index.indices, index.scores
+        n_rows_local, n_cols_local = index.shape
+        row_ids, col_ids = shard_pair.source_nodes, shard_pair.target_nodes
+    if (n_rows_local, n_cols_local) != (row_ids.size, col_ids.size):
+        raise ValueError(
+            f"shard {shard_pair.index}: index shape {index.shape} does not "
+            f"match its node sets ({row_ids.size}, {col_ids.size})"
+        )
+    need = min(width, n_cols_local)
+    if local.shape[1] < need:
+        side = "reverse_k" if reverse else "index_k"
+        raise ValueError(
+            f"shard {shard_pair.index}: serve index stores only "
+            f"{local.shape[1]} candidates per row but the stitch needs "
+            f"{need}; re-export the shard artifacts with a larger {side}"
+        )
+    local = local[:, :need]
+    local_scores = stored[:, :need]
+    valid = local >= 0  # stitched/padded inputs; dense-built rows are full
+    rows_local = np.broadcast_to(
+        np.arange(n_rows_local, dtype=np.intp)[:, None], local.shape
+    )[valid]
+    return (
+        row_ids[rows_local].astype(np.int64, copy=False),
+        col_ids[local[valid]].astype(np.int64, copy=False),
+        local_scores[valid],
+    )
+
+
+def _spill_side(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    scores: np.ndarray,
+    side: str,
+    shard: int,
+    row_window: int,
+    chunks_dir: Path,
+) -> None:
+    """Append one shard's candidates to its per-window chunk files."""
+    if rows.size == 0:
+        return
+    windows = rows // row_window
+    order = np.argsort(windows, kind="stable")
+    rows, cols = rows[order], cols[order]
+    scores, windows = scores[order], windows[order]
+    boundaries = np.flatnonzero(np.diff(windows)) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [windows.size]])
+    for start, stop in zip(starts, stops):
+        window = int(windows[start])
+        np.savez(
+            chunks_dir / f"{side}_{window:06d}_{shard:05d}.npz",
+            rows=rows[start:stop],
+            cols=cols[start:stop],
+            scores=scores[start:stop],
+        )
+
+
+def _merge_side(
+    side: str,
+    n_rows: int,
+    n_cols: int,
+    width: int,
+    n_pairs: int,
+    row_window: int,
+    chunks_dir: Path,
+    score_dtype: np.dtype,
+    backing_dir: Optional[Path],
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Merge one side's spilled chunks window-by-window.
+
+    Returns ``(indices, scores, n_duplicates, multi_shard_rows)``; the
+    multi-shard tally is only meaningful for the forward side.
+    """
+    assembler = StreamedIndexAssembler(
+        n_rows, width, score_dtype=score_dtype, backing_dir=backing_dir, name=side
+    )
+    n_duplicates = 0
+    multi_shard = 0
+    for window_start in range(0, max(n_rows, 1), row_window):
+        window_rows = min(row_window, n_rows - window_start)
+        if window_rows <= 0:
+            break
+        window = window_start // row_window
+        parts = sorted(chunks_dir.glob(f"{side}_{window:06d}_*.npz"))
+        rows_list: List[np.ndarray] = []
+        cols_list: List[np.ndarray] = []
+        scores_list: List[np.ndarray] = []
+        shards_list: List[np.ndarray] = []
+        for part in parts:
+            shard = int(part.stem.rsplit("_", 1)[1])
+            with np.load(part) as payload:
+                part_rows = payload["rows"]
+                rows_list.append(part_rows)
+                cols_list.append(payload["cols"])
+                scores_list.append(payload["scores"])
+            shards_list.append(np.full(part_rows.size, shard, dtype=np.int64))
+            part.unlink()
+        if rows_list:
+            rows = np.concatenate(rows_list) - window_start
+            cols = np.concatenate(cols_list)
+            scores = np.concatenate(scores_list).astype(score_dtype, copy=False)
+            shards = np.concatenate(shards_list)
+        else:
+            rows = cols = shards = np.empty(0, dtype=np.int64)
+            scores = np.empty(0, dtype=score_dtype)
+        if shards.size:
+            # (row, shard) pairs partition by window, so per-window tallies
+            # sum to the global multi-shard-source count.
+            pair_key = rows * np.int64(n_pairs + 1) + shards
+            contributing = np.unique(pair_key) // (n_pairs + 1)
+            counts = np.bincount(contributing.astype(np.int64))
+            multi_shard += int((counts > 1).sum())
+        block_indices, block_scores, dups = _assemble_side(
+            rows, cols, scores, shards, window_rows, n_cols, width
+        )
+        n_duplicates += dups
+        assembler.write(window_start, block_indices, block_scores)
+    indices, scores = assembler.finalize()
+    return indices, scores, n_duplicates, multi_shard
+
+
+def stitch_alignments_streaming(
+    plan: ShardPlan,
+    shard_indexes: Sequence[ShardIndexSource],
+    n_source: int,
+    n_target: int,
+    k: int = DEFAULT_INDEX_K,
+    reverse_k: Optional[int] = None,
+    *,
+    workdir: Optional[Union[str, Path]] = None,
+    row_window: int = DEFAULT_ROW_WINDOW,
+) -> StitchedAlignment:
+    """Stitch per-shard serve indexes into a global sparse alignment.
+
+    Bit-identical to :func:`repro.shard.stitch.stitch_alignments` over the
+    same shard results (provided every shard index is at least as wide as
+    ``k``/``reverse_k``), but the global index is assembled out of core: the
+    peak working set is one shard index plus one ``row_window`` of merge
+    candidates, and the output arrays are disk-backed memmaps.
+
+    Parameters
+    ----------
+    plan:
+        The shard plan the indexes were produced under.
+    shard_indexes:
+        Per-shard serve indexes, or zero-argument loaders returning them
+        (loaders are called one at a time and released after spilling).
+    n_source, n_target, k, reverse_k:
+        As in :func:`~repro.shard.stitch.stitch_alignments`.
+    workdir:
+        Directory for spill chunks and the memmap-backed output arrays.
+        ``None`` uses a temporary directory that is removed on return — the
+        returned index stays valid (POSIX unlink-while-mapped), but pass a
+        stable path if the backing files should outlive the process.
+    row_window:
+        Global rows merged per window; bounds the merge-phase working set.
+    """
+    if len(shard_indexes) != len(plan.pairs):
+        raise ValueError(
+            f"plan has {len(plan.pairs)} shard pairs but "
+            f"{len(shard_indexes)} shard indexes were given"
+        )
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    reverse_k = k if reverse_k is None else reverse_k
+    if reverse_k < 1:
+        raise ValueError(f"reverse_k must be >= 1, got {reverse_k}")
+    if row_window < 1:
+        raise ValueError(f"row_window must be >= 1, got {row_window}")
+    width = min(k, n_target)
+    reverse_width = min(reverse_k, n_source)
+
+    cleanup = workdir is None
+    workdir = Path(
+        tempfile.mkdtemp(prefix="repro_stitch_") if workdir is None else workdir
+    )
+    chunks_dir = workdir / "chunks"
+    chunks_dir.mkdir(parents=True, exist_ok=True)
+    backing_dir = workdir / "global_index"
+    try:
+        # Phase A: spill each shard's candidates, one shard resident at a
+        # time.  The common score dtype mirrors the concatenation promotion
+        # of the in-memory stitch (float32 shards upcast losslessly).
+        score_dtype = np.dtype(np.float32)
+        for shard_pair, source in zip(plan.pairs, shard_indexes):
+            index = source() if callable(source) else source
+            score_dtype = np.promote_types(score_dtype, index.score_dtype)
+            for reverse, side, side_width in (
+                (False, "fwd", width),
+                (True, "rev", reverse_width),
+            ):
+                rows, cols, scores = _shard_index_candidates(
+                    index, shard_pair, side_width, reverse
+                )
+                _spill_side(
+                    rows,
+                    cols,
+                    scores,
+                    side,
+                    shard_pair.index,
+                    row_window,
+                    chunks_dir,
+                )
+            del index
+        if score_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            score_dtype = np.dtype(np.float64)
+
+        # Phase B: merge window by window into memmap-backed output arrays.
+        indices, fwd_scores, n_duplicates, multi_shard = _merge_side(
+            "fwd",
+            n_source,
+            n_target,
+            width,
+            len(plan.pairs),
+            row_window,
+            chunks_dir,
+            score_dtype,
+            backing_dir,
+        )
+        reverse_indices, reverse_scores, _, _ = _merge_side(
+            "rev",
+            n_target,
+            n_source,
+            reverse_width,
+            len(plan.pairs),
+            row_window,
+            chunks_dir,
+            score_dtype,
+            backing_dir,
+        )
+
+        index = SparseTopKIndex(
+            shape=(n_source, n_target),
+            k=k,
+            indices=indices,
+            scores=fwd_scores,
+            reverse_k=reverse_k,
+            reverse_indices=reverse_indices,
+            reverse_scores=reverse_scores,
+        )
+        return StitchedAlignment(
+            index=index,
+            n_shards=len(plan.pairs),
+            conflicts_resolved=n_duplicates,
+            multi_shard_sources=multi_shard,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+__all__ = [
+    "DEFAULT_ROW_WINDOW",
+    "stitch_alignments_streaming",
+]

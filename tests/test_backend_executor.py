@@ -1,0 +1,197 @@
+"""Tests for the ``"executor"`` backend layer (``repro.backend.executor``)."""
+
+import os
+import time
+
+import pytest
+
+from repro.backend.executor import (
+    PROCESS_POOL,
+    SERIAL,
+    THREAD_POOL,
+    ExecutorBackend,
+    ExecutorJob,
+    ProcessPoolExecutorBackend,
+    SerialExecutor,
+    ThreadPoolExecutorBackend,
+    available_executor_backends,
+    executor_registry,
+    get_executor_backend,
+    resolve_executor_backend,
+)
+from repro.backend.registry import AUTO_BACKEND
+
+
+# Module-level job callables: the process pool pickles them by reference.
+def _ok_job(key, timeout=None):
+    return {"key": key, "status": "done", "timeout_seen": timeout}
+
+
+def _exit_job(key, timeout=None):
+    os._exit(13)  # hard worker death: not interceptable in-process
+
+
+def _raise_job(key, timeout=None):
+    raise RuntimeError("boom")
+
+
+def _system_exit_job(key, timeout=None):
+    raise SystemExit(13)
+
+
+def _slow_job(key, timeout=None):
+    time.sleep(10.0)
+    return {"key": key, "status": "done"}
+
+
+def _jobs(fn_by_key):
+    return [ExecutorJob(key=key, fn=fn, args=(key,)) for key, fn in fn_by_key]
+
+
+class TestRegistry:
+    def test_all_three_backends_registered(self):
+        names = executor_registry().names()
+        assert {SERIAL, PROCESS_POOL, THREAD_POOL} <= set(names)
+
+    def test_serial_and_thread_pool_always_available(self):
+        available = available_executor_backends()
+        assert SERIAL in available
+        assert THREAD_POOL in available
+
+    def test_auto_resolves_to_highest_priority_available(self):
+        resolved = resolve_executor_backend(AUTO_BACKEND)
+        assert resolved in available_executor_backends()
+        if PROCESS_POOL in available_executor_backends():
+            assert resolved == PROCESS_POOL
+
+    def test_explicit_names_resolve_to_themselves(self):
+        for name in (SERIAL, THREAD_POOL):
+            assert resolve_executor_backend(name) == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            resolve_executor_backend("carrier-pigeon")
+
+    def test_get_returns_executor_backend_instances(self):
+        assert isinstance(get_executor_backend(SERIAL), SerialExecutor)
+        assert isinstance(
+            get_executor_backend(THREAD_POOL), ThreadPoolExecutorBackend
+        )
+        assert isinstance(get_executor_backend(), ExecutorBackend)
+
+    def test_get_rejects_non_executor_registrations(self):
+        registry = executor_registry()
+        registry.register("bogus-executor", object(), priority=-100)
+        try:
+            with pytest.raises(TypeError, match="not an ExecutorBackend"):
+                get_executor_backend("bogus-executor")
+        finally:
+            registry.unregister("bogus-executor")
+
+
+class TestSerialExecutor:
+    def test_runs_in_submission_order_and_streams_results(self):
+        seen = []
+        results = SerialExecutor().submit_jobs(
+            _jobs([("a", _ok_job), ("b", _ok_job), ("c", _ok_job)]),
+            on_result=lambda key, result: seen.append(key),
+        )
+        assert seen == ["a", "b", "c"]
+        assert {key: r["status"] for key, r in results.items()} == {
+            "a": "done",
+            "b": "done",
+            "c": "done",
+        }
+
+    def test_timeout_passes_through_to_the_job(self):
+        results = SerialExecutor().submit_jobs(
+            _jobs([("a", _ok_job)]), timeout=2.5
+        )
+        assert results["a"]["timeout_seen"] == 2.5
+
+    def test_system_exit_becomes_a_crash_result(self):
+        results = SerialExecutor().submit_jobs(
+            _jobs([("a", _ok_job), ("b", _system_exit_job), ("c", _ok_job)]),
+            on_crash=lambda job, message: {
+                "key": job.key,
+                "status": "failed",
+                "error": message,
+            },
+        )
+        assert results["a"]["status"] == "done"
+        assert results["b"]["status"] == "failed"
+        assert "SystemExit" in results["b"]["error"]
+        assert results["c"]["status"] == "done"
+
+    def test_default_crash_hook_marks_failed(self):
+        results = SerialExecutor().submit_jobs(_jobs([("a", _raise_job)]))
+        assert results["a"]["status"] == "failed"
+        assert "RuntimeError: boom" in results["a"]["error"]
+
+
+class TestThreadPoolExecutor:
+    def test_completes_all_jobs_with_multiple_workers(self):
+        keys = [f"job{i}" for i in range(5)]
+        results = ThreadPoolExecutorBackend().submit_jobs(
+            _jobs([(key, _ok_job) for key in keys]), workers=3
+        )
+        assert sorted(results) == sorted(keys)
+        assert all(r["status"] == "done" for r in results.values())
+
+    def test_jobs_never_receive_a_sigalrm_timeout(self):
+        # SIGALRM is main-thread-only: the budget is enforced outside the
+        # job, which must see timeout=None.
+        results = ThreadPoolExecutorBackend().submit_jobs(
+            _jobs([("a", _ok_job)]), timeout=5.0
+        )
+        assert results["a"]["timeout_seen"] is None
+
+    def test_crash_becomes_a_result(self):
+        results = ThreadPoolExecutorBackend().submit_jobs(
+            _jobs([("a", _raise_job), ("b", _ok_job)]), workers=2
+        )
+        assert results["a"]["status"] == "failed"
+        assert results["b"]["status"] == "done"
+
+    def test_lapsed_budget_synthesises_a_timeout_result(self):
+        started = time.monotonic()
+        results = ThreadPoolExecutorBackend().submit_jobs(
+            _jobs([("slow", _slow_job), ("fast", _ok_job)]),
+            workers=2,
+            timeout=0.3,
+            on_timeout=lambda job: {"key": job.key, "status": "timeout"},
+        )
+        elapsed = time.monotonic() - started
+        assert results["slow"]["status"] == "timeout"
+        assert results["fast"]["status"] == "done"
+        # The runaway thread is abandoned, not joined.
+        assert elapsed < 5.0
+
+
+class TestProcessPoolExecutor:
+    def test_completes_all_jobs(self):
+        results = ProcessPoolExecutorBackend().submit_jobs(
+            _jobs([("a", _ok_job), ("b", _ok_job)]), workers=2
+        )
+        assert all(r["status"] == "done" for r in results.values())
+
+    def test_worker_exception_becomes_a_result(self):
+        results = ProcessPoolExecutorBackend().submit_jobs(
+            _jobs([("a", _raise_job), ("b", _ok_job)]), workers=2
+        )
+        assert results["a"]["status"] == "failed"
+        assert "RuntimeError" in results["a"]["error"]
+        assert results["b"]["status"] == "done"
+
+    def test_dead_worker_fails_only_the_crasher(self):
+        # os._exit kills the worker outright -> BrokenProcessPool fails every
+        # in-flight future; the isolation pass must pin the failure on the
+        # crasher and still complete its innocent neighbours.
+        results = ProcessPoolExecutorBackend().submit_jobs(
+            _jobs([("a", _ok_job), ("killer", _exit_job), ("c", _ok_job)]),
+            workers=2,
+        )
+        assert results["killer"]["status"] == "failed"
+        assert "worker crashed" in results["killer"]["error"]
+        assert results["a"]["status"] == "done"
+        assert results["c"]["status"] == "done"

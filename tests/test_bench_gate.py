@@ -20,6 +20,31 @@ SHARD_PAYLOAD = {
     "memory_ratio": 4.0,
     "speedup": 2.0,
     "sharded": {"wall_s": 3.0},
+    "stitch_phase": {
+        "identical": True,
+        "streaming_below_index": True,
+        "memory_ratio": 15.0,
+        "streaming_s": 10.0,
+    },
+}
+
+RUNNER_PAYLOAD = {
+    "command": "python benchmarks/bench_runner.py --quick",
+    "suite": {
+        "all_done": True,
+        "executors": {
+            "serial": {"executor": "serial", "wall_s": 1.0},
+            "process-pool": {"executor": "process-pool", "wall_s": 1.5},
+            "thread-pool": {"executor": "thread-pool", "wall_s": 1.2},
+        },
+        "scheduler_overlap": {"executor": "process-pool", "speedup": 2.5},
+    },
+    "kernel_memory": {
+        "identical": True,
+        "memory_ratio": 5.0,
+        "chunked_s": 0.5,
+    },
+    "greedy_memory": {"identical": True, "memory_ratio": 50.0, "heap_s": 0.1},
 }
 
 
@@ -45,6 +70,43 @@ class TestSameMode:
         assert check_regression.same_mode(quick, dict(quick))
         assert check_regression.same_mode(full, dict(full))
         assert not check_regression.same_mode(quick, full)
+
+
+class TestBackendContext:
+    def test_innermost_backend_wins(self):
+        assert (
+            check_regression.backend_context(
+                RUNNER_PAYLOAD, "suite.scheduler_overlap.speedup"
+            )
+            == "process-pool"
+        )
+        assert (
+            check_regression.backend_context(
+                RUNNER_PAYLOAD, "suite.executors.serial.wall_s"
+            )
+            == "serial"
+        )
+
+    def test_no_backend_recorded_is_none(self):
+        assert (
+            check_regression.backend_context(SHARD_PAYLOAD, "sharded.wall_s")
+            is None
+        )
+
+    def test_generic_backend_key_also_counts(self):
+        payload = {"kernel": {"backend": "numpy", "total_s": 1.0}}
+        assert (
+            check_regression.backend_context(payload, "kernel.total_s")
+            == "numpy"
+        )
+
+    def test_missing_path_keeps_outer_context(self):
+        assert (
+            check_regression.backend_context(
+                RUNNER_PAYLOAD, "suite.scheduler_overlap.nope.deeper"
+            )
+            == "process-pool"
+        )
 
 
 class TestGate:
@@ -119,7 +181,9 @@ class TestGate:
         assert code == 0
         assert "different mode" in capsys.readouterr().out
 
-    def test_missing_fresh_results_fail(self, tmp_path):
+    def test_missing_fresh_results_fail_with_regen_command(
+        self, tmp_path, capsys
+    ):
         _write(tmp_path / "baselines", "BENCH_shard.json", SHARD_PAYLOAD)
         (tmp_path / "fresh").mkdir()
         code = check_regression.main(
@@ -130,6 +194,7 @@ class TestGate:
             ]
         )
         assert code == 1
+        assert "python benchmarks/bench_shard.py" in capsys.readouterr().out
 
     def test_missing_baseline_is_floors_only(self, tmp_path, capsys):
         (tmp_path / "baselines").mkdir()
@@ -142,4 +207,103 @@ class TestGate:
             ]
         )
         assert code == 0
-        assert "no committed baseline" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "no committed baseline" in out
+        # The note tells the user exactly how to restore relative checks.
+        assert "python benchmarks/bench_shard.py" in out
+
+    def test_schema_stale_baseline_fails_with_regen_command(
+        self, tmp_path, capsys
+    ):
+        # A baseline written before the stitch_phase measurement existed:
+        # the benchmark schema moved on without regenerating it.
+        stale = {
+            key: value
+            for key, value in SHARD_PAYLOAD.items()
+            if key != "stitch_phase"
+        }
+        _write(tmp_path / "baselines", "BENCH_shard.json", stale)
+        _write(tmp_path / "fresh", "BENCH_shard.json", SHARD_PAYLOAD)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_shard.json",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "schema-stale" in out
+        assert "python benchmarks/bench_shard.py" in out
+
+    def test_stale_fresh_payload_fails_with_regen_command(
+        self, tmp_path, capsys
+    ):
+        # The inverse: a checked value missing from the *fresh* run means
+        # the benchmark output on disk predates the current script.
+        stale = {
+            key: value
+            for key, value in SHARD_PAYLOAD.items()
+            if key != "stitch_phase"
+        }
+        _write(tmp_path / "baselines", "BENCH_shard.json", SHARD_PAYLOAD)
+        _write(tmp_path / "fresh", "BENCH_shard.json", stale)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_shard.json",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "missing from the fresh run" in out
+        assert "python benchmarks/bench_shard.py" in out
+
+    def test_matching_executors_compare_and_pass(self, tmp_path):
+        _write(tmp_path / "baselines", "BENCH_runner.json", RUNNER_PAYLOAD)
+        _write(tmp_path / "fresh", "BENCH_runner.json", RUNNER_PAYLOAD)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_runner.json",
+            ]
+        )
+        assert code == 0
+
+    def test_different_executor_skips_relative_check(self, tmp_path, capsys):
+        # On a machine without process-pool support, "auto" resolves to a
+        # different executor; its overlap speedup is not comparable to the
+        # committed baseline and must be skipped, not failed.
+        fresh = json.loads(json.dumps(RUNNER_PAYLOAD))
+        fresh["suite"]["scheduler_overlap"] = {
+            "executor": "thread-pool",
+            "speedup": 0.1,  # would fail the 0.5x rule if compared
+        }
+        _write(tmp_path / "baselines", "BENCH_runner.json", RUNNER_PAYLOAD)
+        _write(tmp_path / "fresh", "BENCH_runner.json", fresh)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_runner.json",
+            ]
+        )
+        assert code == 0
+        assert "different backend" in capsys.readouterr().out
+
+    def test_matching_executor_still_catches_collapse(self, tmp_path, capsys):
+        fresh = json.loads(json.dumps(RUNNER_PAYLOAD))
+        fresh["suite"]["scheduler_overlap"]["speedup"] = 0.1
+        _write(tmp_path / "baselines", "BENCH_runner.json", RUNNER_PAYLOAD)
+        _write(tmp_path / "fresh", "BENCH_runner.json", fresh)
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_runner.json",
+            ]
+        )
+        assert code == 1
+        assert "of baseline" in capsys.readouterr().out

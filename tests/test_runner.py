@@ -42,6 +42,50 @@ def _sleepy_resolver(name, config):
     return _Sleeper()
 
 
+def _hard_exit_resolver(name, config):
+    """Resolver whose ``Killer`` jobs take their worker process down.
+
+    ``os._exit`` bypasses every Python-level handler — under the process
+    pool the worker simply dies mid-job (``BrokenProcessPool``).  Only safe
+    with the process-pool executor; in-process backends would lose the
+    test process itself.
+    """
+    import os as _os
+
+    if name != "Killer":
+        return resolve_method(name, config)
+
+    class _Killer:
+        name = "Killer"
+        requires_supervision = False
+
+        def align(self, pair, train_anchors=None):
+            _os._exit(13)
+
+    return _Killer()
+
+
+def _system_exit_resolver(name, config):
+    """The in-process analogue of :func:`_hard_exit_resolver`.
+
+    ``SystemExit`` is the closest interceptable stand-in for a dying
+    worker under the serial and thread-pool executors (a real ``os._exit``
+    would kill the whole test process); both must report the same
+    worker-crashed failure the process pool does.
+    """
+    if name != "Killer":
+        return resolve_method(name, config)
+
+    class _Killer:
+        name = "Killer"
+        requires_supervision = False
+
+        def align(self, pair, train_anchors=None):
+            raise SystemExit(13)
+
+    return _Killer()
+
+
 def _tiny_suite(name="unit", methods=("Degree", "Attribute"), **overrides):
     payload = dict(
         name=name,
@@ -222,6 +266,125 @@ class TestRunSuite:
         text = report.table()
         assert "Degree" in text and "tiny" in text and "status" in text
         assert "done" in text
+
+
+class TestExecutorBackends:
+    def test_manifest_and_report_record_the_executor(self, tmp_path):
+        suite = _tiny_suite(name="exec-record")
+        report = run_suite(suite, tmp_path, jobs=2, executor="thread-pool")
+        assert report.executor == "thread-pool"
+        manifest = load_manifest(report.suite_dir)
+        assert manifest["executor"] == "thread-pool"
+
+    def test_single_job_auto_stays_serial(self, tmp_path):
+        report = run_suite(
+            _tiny_suite(name="exec-auto", methods=("Degree",)), tmp_path, jobs=1
+        )
+        assert report.executor == "serial"
+        assert load_manifest(report.suite_dir)["executor"] == "serial"
+
+    def test_spec_hashes_identical_across_executors(self, tmp_path):
+        """The executor choice must never leak into job identity."""
+        suite = _tiny_suite(name="exec-hash")
+
+        def hashes(executor):
+            report = run_suite(
+                suite,
+                tmp_path / executor,
+                jobs=2,
+                executor=executor,
+            )
+            manifest = load_manifest(report.suite_dir)
+            return sorted(
+                (j["job_id"], j["spec_hash"], j["status"])
+                for j in manifest["jobs"]
+            )
+
+        serial = hashes("serial")
+        assert hashes("thread-pool") == serial
+        assert hashes("process-pool") == serial
+
+    def test_suite_spec_executor_backend_is_used(self, tmp_path):
+        suite = _tiny_suite(name="exec-spec", executor_backend="thread-pool")
+        report = run_suite(suite, tmp_path, jobs=2)
+        assert report.executor == "thread-pool"
+
+    def test_explicit_argument_overrides_suite_spec(self, tmp_path):
+        suite = _tiny_suite(name="exec-override", executor_backend="thread-pool")
+        report = run_suite(suite, tmp_path, jobs=2, executor="serial")
+        assert report.executor == "serial"
+
+    def test_thread_pool_timeout_without_sigalrm(self, tmp_path):
+        suite = SuiteSpec(
+            name="slow-threads",
+            datasets=["tiny"],
+            methods=["HTC"],
+            config=dict(FAST_CONFIG),
+            timeout=0.3,
+        )
+        report = run_suite(
+            suite,
+            tmp_path,
+            jobs=2,
+            executor="thread-pool",
+            method_resolver=_sleepy_resolver,
+        )
+        assert report.counts == {"timeout": 1}
+        (artifact,) = report.artifacts
+        assert "0.3" in artifact["error"]
+
+
+class TestWorkerCrashRecovery:
+    """A dying worker fails its own job, never the suite (all backends)."""
+
+    def _crash_suite(self):
+        return _tiny_suite(name="crashy", methods=("Degree", "Killer"))
+
+    def _statuses(self, report):
+        return {
+            a["spec"]["method"]: a["status"] for a in report.artifacts
+        }
+
+    def test_process_pool_survives_worker_death(self, tmp_path):
+        report = run_suite(
+            self._crash_suite(),
+            tmp_path,
+            jobs=2,
+            executor="process-pool",
+            method_resolver=_hard_exit_resolver,
+        )
+        assert self._statuses(report) == {"Degree": "done", "Killer": "failed"}
+        (killed,) = [a for a in report.artifacts if a["spec"]["method"] == "Killer"]
+        assert "worker crashed" in killed["error"]
+
+    @pytest.mark.parametrize("executor", ["serial", "thread-pool"])
+    def test_in_process_backends_fail_identically(self, tmp_path, executor):
+        report = run_suite(
+            self._crash_suite(),
+            tmp_path,
+            jobs=2,
+            executor=executor,
+            method_resolver=_system_exit_resolver,
+        )
+        assert self._statuses(report) == {"Degree": "done", "Killer": "failed"}
+        (killed,) = [a for a in report.artifacts if a["spec"]["method"] == "Killer"]
+        assert "worker crashed" in killed["error"]
+
+    def test_crashed_job_reruns_under_resume(self, tmp_path):
+        suite = self._crash_suite()
+        run_suite(
+            suite,
+            tmp_path,
+            jobs=2,
+            executor="process-pool",
+            method_resolver=_hard_exit_resolver,
+        )
+        # Resume with a healthy resolver: the failed job re-runs, the done
+        # job is reused from its artifact.
+        report = run_suite(
+            suite, tmp_path, jobs=1, resume=True, method_resolver=resolve_method
+        )
+        assert report.counts == {"cached": 1, "failed": 1}
 
 
 class TestEmitArtifacts:

@@ -1,0 +1,266 @@
+"""Tests for the streaming out-of-core stitch (``repro.shard.streaming``)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HTCConfig
+from repro.datasets.synthetic import tiny_pair
+from repro.serve.index import StreamedIndexAssembler, build_index
+from repro.shard import (
+    align_sharded,
+    build_shard_plan,
+    stitch_alignments,
+    stitch_alignments_streaming,
+)
+
+FAST = dict(epochs=3, embedding_dim=8, orbit_cache="off", random_state=0)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return tiny_pair(n_nodes=60, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def plan(pair):
+    return build_shard_plan(pair, 3, overlap=1)
+
+
+def _shard_matrices(plan, dtype=np.float32):
+    matrices = []
+    for shard_pair in plan.pairs:
+        rng = np.random.default_rng(100 + shard_pair.index)
+        matrices.append(
+            rng.standard_normal(
+                (shard_pair.source_nodes.size, shard_pair.target_nodes.size)
+            ).astype(dtype)
+        )
+    return matrices
+
+
+def _shard_indexes(plan, matrices, k, reverse_k):
+    return [
+        build_index(matrix, k=k, reverse_k=reverse_k) for matrix in matrices
+    ]
+
+
+def _assert_same_stitch(memory, streaming):
+    assert np.array_equal(memory.index.indices, streaming.index.indices)
+    assert np.array_equal(memory.index.scores, streaming.index.scores)
+    assert np.array_equal(
+        memory.index.reverse_indices, streaming.index.reverse_indices
+    )
+    assert np.array_equal(
+        memory.index.reverse_scores, streaming.index.reverse_scores
+    )
+    assert streaming.conflicts_resolved == memory.conflicts_resolved
+    assert streaming.multi_shard_sources == memory.multi_shard_sources
+
+
+class TestStreamingParity:
+    def test_bit_identical_to_in_memory_stitch(self, pair, plan):
+        matrices = _shard_matrices(plan)
+        n_s, n_t = pair.source.n_nodes, pair.target.n_nodes
+        memory = stitch_alignments(plan, matrices, n_s, n_t, k=5, reverse_k=7)
+        streaming = stitch_alignments_streaming(
+            plan,
+            _shard_indexes(plan, matrices, k=5, reverse_k=7),
+            n_s,
+            n_t,
+            k=5,
+            reverse_k=7,
+        )
+        _assert_same_stitch(memory, streaming)
+
+    @pytest.mark.parametrize("row_window", [1, 7, 64, 10_000])
+    def test_row_window_never_changes_the_result(self, pair, plan, row_window):
+        matrices = _shard_matrices(plan)
+        n_s, n_t = pair.source.n_nodes, pair.target.n_nodes
+        memory = stitch_alignments(plan, matrices, n_s, n_t, k=4)
+        streaming = stitch_alignments_streaming(
+            plan,
+            _shard_indexes(plan, matrices, k=4, reverse_k=4),
+            n_s,
+            n_t,
+            k=4,
+            row_window=row_window,
+        )
+        _assert_same_stitch(memory, streaming)
+
+    def test_lazy_loaders_called_once_each(self, pair, plan):
+        matrices = _shard_matrices(plan)
+        n_s, n_t = pair.source.n_nodes, pair.target.n_nodes
+        indexes = _shard_indexes(plan, matrices, k=5, reverse_k=5)
+        calls = {"n": 0}
+
+        def counting_loader(index):
+            def load():
+                calls["n"] += 1
+                return index
+
+            return load
+
+        streaming = stitch_alignments_streaming(
+            plan,
+            [counting_loader(ix) for ix in indexes],
+            n_s,
+            n_t,
+            k=5,
+        )
+        assert calls["n"] == len(plan.pairs)  # each loader called exactly once
+        memory = stitch_alignments(plan, matrices, n_s, n_t, k=5)
+        _assert_same_stitch(memory, streaming)
+
+    def test_float64_shard_promotes_the_merged_dtype(self, pair, plan):
+        matrices = _shard_matrices(plan)
+        matrices[1] = matrices[1].astype(np.float64)
+        n_s, n_t = pair.source.n_nodes, pair.target.n_nodes
+        memory = stitch_alignments(plan, matrices, n_s, n_t, k=4)
+        streaming = stitch_alignments_streaming(
+            plan,
+            _shard_indexes(plan, matrices, k=4, reverse_k=4),
+            n_s,
+            n_t,
+            k=4,
+        )
+        assert streaming.index.score_dtype == np.dtype(np.float64)
+        _assert_same_stitch(memory, streaming)
+
+    def test_all_float32_stays_float32(self, pair, plan):
+        matrices = _shard_matrices(plan)
+        streaming = stitch_alignments_streaming(
+            plan,
+            _shard_indexes(plan, matrices, k=4, reverse_k=4),
+            pair.source.n_nodes,
+            pair.target.n_nodes,
+            k=4,
+        )
+        assert streaming.index.score_dtype == np.dtype(np.float32)
+
+
+class TestStreamingWorkdir:
+    def test_temp_workdir_is_cleaned_up_but_index_stays_valid(
+        self, pair, plan, tmp_path, monkeypatch
+    ):
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        matrices = _shard_matrices(plan)
+        streaming = stitch_alignments_streaming(
+            plan,
+            _shard_indexes(plan, matrices, k=4, reverse_k=4),
+            pair.source.n_nodes,
+            pair.target.n_nodes,
+            k=4,
+        )
+        # The temporary spill directory is gone...
+        assert not any(tmp_path.glob("repro_stitch_*"))
+        # ...but the memmap-backed result still answers queries (POSIX
+        # unlink-while-mapped semantics).
+        matches = streaming.match(np.arange(pair.source.n_nodes))
+        assert matches.shape == (pair.source.n_nodes,)
+        assert np.all(matches >= 0)
+
+    def test_explicit_workdir_keeps_backing_files(self, pair, plan, tmp_path):
+        matrices = _shard_matrices(plan)
+        stitch_alignments_streaming(
+            plan,
+            _shard_indexes(plan, matrices, k=4, reverse_k=4),
+            pair.source.n_nodes,
+            pair.target.n_nodes,
+            k=4,
+            workdir=tmp_path / "stream",
+        )
+        backing = sorted(
+            p.name for p in (tmp_path / "stream" / "global_index").iterdir()
+        )
+        assert backing == [
+            "fwd_indices.npy",
+            "fwd_scores.npy",
+            "rev_indices.npy",
+            "rev_scores.npy",
+        ]
+
+
+class TestStreamingValidation:
+    def test_narrow_index_raises_with_reexport_hint(self, pair, plan):
+        matrices = _shard_matrices(plan)
+        narrow = _shard_indexes(plan, matrices, k=2, reverse_k=8)
+        with pytest.raises(ValueError, match="larger index_k"):
+            stitch_alignments_streaming(
+                plan,
+                narrow,
+                pair.source.n_nodes,
+                pair.target.n_nodes,
+                k=6,
+            )
+
+    def test_shard_count_mismatch_raises(self, pair, plan):
+        with pytest.raises(ValueError, match="shard pairs"):
+            stitch_alignments_streaming(
+                plan, [], pair.source.n_nodes, pair.target.n_nodes
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"k": 0}, {"reverse_k": 0}, {"row_window": 0}]
+    )
+    def test_invalid_parameters_raise(self, pair, plan, kwargs):
+        matrices = _shard_matrices(plan)
+        indexes = _shard_indexes(plan, matrices, k=4, reverse_k=4)
+        with pytest.raises(ValueError):
+            stitch_alignments_streaming(
+                plan,
+                indexes,
+                pair.source.n_nodes,
+                pair.target.n_nodes,
+                **{"k": 4, **kwargs},
+            )
+
+
+class TestStreamedIndexAssembler:
+    def test_sequential_windows_roundtrip(self):
+        assembler = StreamedIndexAssembler(5, 3, score_dtype=np.float32)
+        blocks = [
+            (0, np.arange(6).reshape(2, 3), np.ones((2, 3), dtype=np.float32)),
+            (2, np.arange(9).reshape(3, 3), np.zeros((3, 3), dtype=np.float32)),
+        ]
+        for start, indices, scores in blocks:
+            assembler.write(start, indices.astype(np.intp), scores)
+        indices, scores = assembler.finalize()
+        assert indices.shape == (5, 3)
+        assert scores.dtype == np.float32
+        np.testing.assert_array_equal(indices[:2], np.arange(6).reshape(2, 3))
+
+    def test_gap_or_overlap_rejected(self):
+        assembler = StreamedIndexAssembler(4, 2)
+        assembler.write(0, np.zeros((2, 2), dtype=np.intp), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            assembler.write(3, np.zeros((1, 2), dtype=np.intp), np.zeros((1, 2)))
+
+    def test_incomplete_finalize_rejected(self):
+        assembler = StreamedIndexAssembler(4, 2)
+        assembler.write(0, np.zeros((2, 2), dtype=np.intp), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            assembler.finalize()
+
+
+class TestAlignShardedStreaming:
+    def test_streaming_equals_memory_end_to_end(self, pair):
+        config = HTCConfig(**FAST)
+        memory = align_sharded(
+            pair, config, shard_count=2, refine_iterations=1
+        )
+        streaming = align_sharded(
+            pair, config, shard_count=2, refine_iterations=1, stitch="streaming"
+        )
+        assert np.array_equal(memory.index.indices, streaming.index.indices)
+        np.testing.assert_allclose(
+            np.asarray(memory.index.scores), np.asarray(streaming.index.scores)
+        )
+        assert streaming.conflicts_resolved == memory.conflicts_resolved
+
+    def test_unknown_stitch_mode_rejected(self, pair):
+        with pytest.raises(ValueError, match="stitch"):
+            align_sharded(
+                pair, HTCConfig(**FAST), shard_count=2, stitch="quantum"
+            )
