@@ -92,6 +92,16 @@ CHECKS = {
         ("gemm.speedup", "floor", 1.1),
         ("gemm.float32_s", "time", None),
     ],
+    "BENCH_api.json": [
+        ("parity_with_direct", "true", None),
+        ("structured_errors", "true", None),
+        # Calibrated far below the in-container measurement (~180k quick);
+        # the subtree records "backend": "stdlib" so runs fronted by a
+        # different server stack skip the relative checks.
+        ("http.sustained_qps", "floor", 15000.0),
+        ("http.sustained_qps", "rate", None),
+        ("http.p99_ms", "time", None),
+    ],
     "BENCH_shard.json": [
         ("within_tolerance", "true", None),
         ("memory_ratio", "floor", 1.5),
@@ -114,6 +124,7 @@ REGEN_COMMANDS = {
     "BENCH_orbits.json": "python benchmarks/bench_orbit_counting.py",
     "BENCH_runner.json": "python benchmarks/bench_runner.py",
     "BENCH_serve.json": "python benchmarks/bench_serve.py",
+    "BENCH_api.json": "python benchmarks/bench_api.py",
     "BENCH_precision.json": "python benchmarks/bench_precision.py",
     "BENCH_shard.json": "python benchmarks/bench_shard.py",
 }

@@ -1,0 +1,137 @@
+"""FastAPI/ASGI front-end for the alignment API (optional dependency).
+
+FastAPI is probed lazily, exactly like the accelerated backends in
+:mod:`repro.backend`: importing this module never imports FastAPI, and
+:func:`fastapi_available` answers whether :func:`create_app` can work.
+Everything the app does routes into :func:`repro.api.core.dispatch`, so its
+responses are identical to the stdlib fallback server's
+(:mod:`repro.api.http`) — FastAPI only contributes the ASGI transport
+(uvicorn/hypercorn workers, OpenAPI docs at ``/docs``).
+
+Run it under uvicorn either through the CLI (``repro.cli serve --server
+uvicorn``) or directly via the env-configured factory::
+
+    REPRO_ARTIFACT_ROOT=artifacts uvicorn --factory repro.api.asgi:create_default_app
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Optional
+
+from repro.api.core import ApiState, dispatch
+from repro.api.models import API_SCHEMA_VERSION, ENGINE_VERSION
+
+
+def fastapi_available() -> bool:
+    """Whether the optional FastAPI dependency is importable."""
+    return importlib.util.find_spec("fastapi") is not None
+
+
+def create_app(state: Optional[ApiState] = None, root: Optional[str] = None):
+    """Build the FastAPI application serving ``state``.
+
+    Raises ``RuntimeError`` with an install hint when FastAPI is missing —
+    callers that must always work use the stdlib server instead
+    (:func:`repro.api.http.make_server`).
+    """
+    if not fastapi_available():
+        raise RuntimeError(
+            "FastAPI is not installed; `pip install fastapi uvicorn` to serve "
+            "the ASGI app, or use the dependency-free stdlib server "
+            "(repro.cli serve --server stdlib)"
+        )
+    from fastapi import FastAPI, Request
+    from fastapi.responses import JSONResponse
+
+    if state is None:
+        state = ApiState(root=root)
+
+    app = FastAPI(
+        title="repro alignment API",
+        version=ENGINE_VERSION,
+        description=(
+            "Batched network-alignment queries over persisted artifacts "
+            f"(payload schema {API_SCHEMA_VERSION})"
+        ),
+    )
+    app.state.api_state = state
+
+    def _json(status_payload) -> JSONResponse:
+        status, payload = status_payload
+        return JSONResponse(status_code=status, content=payload)
+
+    @app.get("/health")
+    def health() -> JSONResponse:
+        return _json(dispatch(state, "GET", "/health"))
+
+    @app.get("/stats")
+    def stats() -> JSONResponse:
+        return _json(dispatch(state, "GET", "/stats"))
+
+    @app.get("/artifacts")
+    def artifacts(request: Request) -> JSONResponse:
+        params = dict(request.query_params)
+        return _json(dispatch(state, "GET", "/artifacts", params=params))
+
+    @app.get("/artifacts/{artifact_id}")
+    def artifact(artifact_id: str) -> JSONResponse:
+        return _json(dispatch(state, "GET", f"/artifacts/{artifact_id}"))
+
+    async def _post(request: Request, path: str) -> JSONResponse:
+        body = await request.json()
+        return _json(dispatch(state, "POST", path, body=body))
+
+    @app.post("/match")
+    async def match(request: Request) -> JSONResponse:
+        return await _post(request, "/match")
+
+    @app.post("/top_k")
+    async def top_k(request: Request) -> JSONResponse:
+        return await _post(request, "/top_k")
+
+    @app.post("/reverse")
+    async def reverse(request: Request) -> JSONResponse:
+        return await _post(request, "/reverse")
+
+    @app.post("/query")
+    async def query(request: Request) -> JSONResponse:
+        return await _post(request, "/query")
+
+    return app
+
+
+def create_default_app():
+    """uvicorn ``--factory`` entry point configured by environment variables.
+
+    ``REPRO_ARTIFACT_ROOT`` names the store (default ``artifacts``);
+    ``REPRO_API_PRELOAD=1`` hosts every stored artifact at startup instead
+    of lazily on first query.
+    """
+    state = ApiState(root=os.environ.get("REPRO_ARTIFACT_ROOT", "artifacts"))
+    if os.environ.get("REPRO_API_PRELOAD", "") not in ("", "0"):
+        state.preload()
+    return create_app(state)
+
+
+def run_uvicorn(
+    state: ApiState, host: str = "127.0.0.1", port: int = 8000, **kwargs
+) -> None:
+    """Serve ``state`` under uvicorn (raises when uvicorn is missing)."""
+    if importlib.util.find_spec("uvicorn") is None:
+        raise RuntimeError(
+            "uvicorn is not installed; `pip install uvicorn` or use "
+            "repro.cli serve --server stdlib"
+        )
+    import uvicorn
+
+    uvicorn.run(create_app(state), host=host, port=port, **kwargs)
+
+
+__all__ = [
+    "create_app",
+    "create_default_app",
+    "fastapi_available",
+    "run_uvicorn",
+]

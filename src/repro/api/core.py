@@ -1,0 +1,257 @@
+"""Transport-agnostic request handling for the alignment API.
+
+Every HTTP transport — the FastAPI/ASGI app (:mod:`repro.api.asgi`) and the
+dependency-free stdlib server (:mod:`repro.api.http`) — routes into the
+handlers here, which in turn route into the one shared
+:meth:`~repro.serve.service.AlignmentService.query` entry point.  The
+transports only move bytes; validation, artifact resolution and stats all
+happen once, in one place, so responses are byte-for-byte identical no
+matter which server fronted them.
+
+Endpoints (all JSON)::
+
+    GET  /health                    liveness + engine/schema versions
+    GET  /artifacts                 catalog-backed listing (filters: dataset,
+                                    method, dtype, name, kind, limit)
+    GET  /artifacts/<artifact_id>   one artifact: catalog record + hosted info
+    GET  /stats                     service counters snapshot
+    POST /match                     batched argmax        {artifact_id, nodes}
+    POST /top_k                     batched top-k         {artifact_id, nodes, k}
+    POST /reverse                   reverse match / top-k {artifact_id, nodes[, k]}
+    POST /query                     generic op            {artifact_id, op, nodes[, k]}
+
+Errors are structured 4xx bodies (:class:`~repro.api.models.ApiError`):
+``{"error": {"code", "message", "detail"}, "schema_version", ...}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.api.models import (
+    ApiBadRequestError,
+    ApiError,
+    ApiNotFoundError,
+    artifact_list_payload,
+    health_payload,
+    parse_query_request,
+    response_payload,
+)
+from repro.serve.artifacts import (
+    ArtifactIntegrityError,
+    ArtifactNotFoundError,
+    ArtifactSchemaError,
+    list_artifacts,
+)
+from repro.serve.catalog import FILTER_FIELDS, ArtifactCatalog
+from repro.serve.service import AlignmentService
+
+
+@dataclass
+class ApiState:
+    """Everything one API deployment serves from.
+
+    Parameters
+    ----------
+    service:
+        The hosting query service (created empty when omitted).
+    root:
+        Artifact store root.  When set, ``/artifacts`` answers from its
+        SQLite catalog and queries for artifacts that are not hosted yet
+        are resolved by loading them from the store on first use
+        (``auto_load``).
+    auto_load:
+        Lazily load store artifacts the first time they are queried.
+    """
+
+    service: AlignmentService = field(default_factory=AlignmentService)
+    root: Optional[Path] = None
+    auto_load: bool = True
+
+    def __post_init__(self) -> None:
+        if self.root is not None:
+            self.root = Path(self.root)
+
+    @property
+    def catalog(self) -> Optional[ArtifactCatalog]:
+        return ArtifactCatalog.for_store(self.root) if self.root else None
+
+    def preload(self) -> int:
+        """Host every artifact currently in the store; returns the count."""
+        if self.root is None:
+            return 0
+        loaded = 0
+        for manifest in list_artifacts(self.root):
+            self.service.load(self.root, str(manifest["artifact_id"]))
+            loaded += 1
+        return loaded
+
+
+# ----------------------------------------------------------------------
+# handlers
+# ----------------------------------------------------------------------
+def handle_health(state: ApiState) -> Dict[str, object]:
+    return health_payload(state.service.artifact_ids())
+
+
+def handle_stats(state: ApiState) -> Dict[str, object]:
+    return state.service.stats()
+
+
+def handle_artifacts(
+    state: ApiState, params: Optional[Mapping[str, str]] = None
+) -> Dict[str, object]:
+    """Catalog-backed artifact listing (no directory walk when catalogued)."""
+    params = dict(params or {})
+    limit = params.pop("limit", None)
+    try:
+        limit = int(limit) if limit is not None else None
+    except ValueError:
+        raise ApiBadRequestError(f"limit must be an integer, got {limit!r}")
+    unknown = sorted(set(params) - set(FILTER_FIELDS))
+    if unknown:
+        raise ApiBadRequestError(
+            f"unknown filter(s) {unknown}; expected any of {list(FILTER_FIELDS)}"
+        )
+    catalog = state.catalog
+    if catalog is not None:
+        return artifact_list_payload(
+            catalog.find(limit=limit, **params), source="catalog"
+        )
+    # No store root: fall back to describing what is hosted in memory.
+    if params:
+        raise ApiBadRequestError(
+            "filters require an artifact store (the service was started "
+            "without --artifact-root)"
+        )
+    records = [
+        state.service.describe(artifact_id)
+        for artifact_id in state.service.artifact_ids()
+    ]
+    return artifact_list_payload(records[:limit], source="hosted")
+
+
+def handle_artifact_get(state: ApiState, artifact_id: str) -> Dict[str, object]:
+    """One artifact: the catalog record plus hosted-index details (if any)."""
+    record = None
+    catalog = state.catalog
+    if catalog is not None:
+        record = catalog.get(artifact_id)
+    hosted = artifact_id in state.service.artifact_ids()
+    if record is None and not hosted:
+        raise ApiNotFoundError(f"unknown artifact {artifact_id!r}")
+    payload: Dict[str, object] = {"hosted": hosted}
+    if record is not None:
+        payload.update(record)
+    if hosted:
+        payload.update(state.service.describe(artifact_id))
+    return payload
+
+
+def _ensure_hosted(state: ApiState, artifact_id: str) -> None:
+    """Auto-load a store artifact on first query (idempotent, races benign)."""
+    if not state.auto_load or state.root is None:
+        return
+    if artifact_id in state.service.artifact_ids():
+        return
+    try:
+        state.service.load(state.root, artifact_id)
+    except ArtifactNotFoundError:
+        pass  # the query below reports the standard unknown-artifact 404
+    except (ArtifactSchemaError, ArtifactIntegrityError) as error:
+        raise ApiBadRequestError(
+            f"artifact {artifact_id!r} exists but cannot be served: {error}"
+        )
+
+
+def handle_query(
+    state: ApiState,
+    payload: Mapping,
+    *,
+    force_op: Optional[str] = None,
+) -> Dict[str, object]:
+    """Validate, route through ``service.query`` and render the wire body.
+
+    ``force_op`` pins the op for the ``/match``-style routes.  The
+    ``/reverse`` route passes ``force_op="reverse_match"`` or
+    ``"reverse_top_k"`` depending on whether the payload carries ``k``.
+    """
+    request = parse_query_request(payload, force_op=force_op)
+    _ensure_hosted(state, request.artifact_id)
+    try:
+        response = state.service.query(request)
+    except KeyError:
+        raise ApiNotFoundError(
+            f"unknown artifact {request.artifact_id!r}; "
+            f"hosted: {state.service.artifact_ids()}"
+        )
+    except (IndexError, ValueError) as error:
+        raise ApiBadRequestError(str(error))
+    return response_payload(response)
+
+
+def _reverse_force_op(payload: Mapping) -> str:
+    return "reverse_top_k" if isinstance(payload, Mapping) and (
+        payload.get("k") is not None
+    ) else "reverse_match"
+
+
+#: POST routes and the op they pin (None = op comes from the body).
+POST_ROUTES = {
+    "/match": "match",
+    "/top_k": "top_k",
+    "/reverse": None,  # resolved by _reverse_force_op
+    "/query": None,
+}
+
+
+def dispatch(
+    state: ApiState,
+    method: str,
+    path: str,
+    params: Optional[Mapping[str, str]] = None,
+    body: Optional[Mapping] = None,
+) -> Tuple[int, Dict[str, object]]:
+    """Route one request; returns ``(status, json_body)`` and never raises.
+
+    This is the whole HTTP surface in one function — both bundled servers
+    call it, and tests can drive it directly without opening a socket.
+    """
+    try:
+        if method == "GET":
+            if path == "/health":
+                return 200, handle_health(state)
+            if path == "/stats":
+                return 200, handle_stats(state)
+            if path == "/artifacts":
+                return 200, handle_artifacts(state, params)
+            if path.startswith("/artifacts/"):
+                artifact_id = path[len("/artifacts/") :]
+                if artifact_id and "/" not in artifact_id:
+                    return 200, handle_artifact_get(state, artifact_id)
+        elif method == "POST":
+            if path == "/reverse":
+                force_op: Optional[str] = _reverse_force_op(body or {})
+            elif path in POST_ROUTES:
+                force_op = POST_ROUTES[path]
+            else:
+                force_op = None
+            if path in POST_ROUTES:
+                return 200, handle_query(state, body or {}, force_op=force_op)
+        raise ApiNotFoundError(f"no route for {method} {path}")
+    except ApiError as error:
+        return error.status, error.body()
+
+
+__all__ = [
+    "ApiState",
+    "POST_ROUTES",
+    "dispatch",
+    "handle_artifact_get",
+    "handle_artifacts",
+    "handle_health",
+    "handle_query",
+    "handle_stats",
+]

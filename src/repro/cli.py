@@ -1,6 +1,6 @@
 """Command-line interface for the HTC reproduction.
 
-Eight sub-commands cover the typical workflows without writing Python:
+Eleven sub-commands cover the typical workflows without writing Python:
 
 ``datasets``
     List the bundled dataset stand-ins and their statistics.
@@ -22,9 +22,17 @@ Eight sub-commands cover the typical workflows without writing Python:
     Train one method on one dataset and persist the alignment (plus its
     sparse top-k index) into an artifact store.
 ``query``
-    Answer match / top-k / reverse-match queries from a stored artifact.
+    Answer match / top-k / reverse-match queries from a stored artifact,
+    printing the same versioned JSON payload the HTTP API returns.
+``serve``
+    Serve an artifact store over HTTP (:mod:`repro.api`): uvicorn/FastAPI
+    when installed, the dependency-free stdlib server otherwise.
 ``serve-stats``
-    Inspect an artifact store: ids, shapes, index sizes, compression.
+    Inspect an artifact store from its SQLite catalog (ids, shapes, index
+    sizes) — the same payload as ``GET /artifacts``.
+``catalog-sync``
+    Backfill/refresh the store's SQLite catalog from the manifests on disk
+    (stores written before the catalog existed, or edited by hand).
 
 Dataset arguments accept registered names (``douban``, ``tiny``, ...) and
 prefixed names such as ``dir:/path/to/exported-pair`` (a directory written
@@ -44,12 +52,15 @@ Examples
         --artifact-root artifacts --index-k 10
     python -m repro.cli query --artifact-root artifacts --artifact <id> \
         --op top-k --k 5 --nodes 0 1 2
+    python -m repro.cli serve --artifact-root artifacts --port 8000
     python -m repro.cli serve-stats --artifact-root artifacts
+    python -m repro.cli catalog-sync --artifact-root artifacts
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -66,9 +77,16 @@ from repro.eval.protocol import run_comparison, run_method
 from repro.eval.reporting import format_importance_ranking, format_series, format_table
 from repro.eval.robustness import run_robustness
 from repro.orbits.engine import available_backends as available_orbit_backends
+from repro.api.models import (
+    TOP_K_OPS,
+    artifact_list_payload,
+    make_query_request,
+    response_payload,
+)
 from repro.runner import SuiteSpec, resolve_method, run_suite
 from repro.runner.executor import known_method_names
 from repro.serve import AlignmentService, export_result, list_artifacts
+from repro.serve.catalog import ArtifactCatalog
 
 
 def _dataset_arg(name: str) -> str:
@@ -358,11 +376,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the artifact integrity (hash) check on load",
     )
+    query.add_argument(
+        "--format",
+        choices=("json", "legacy"),
+        default="json",
+        help="json: the versioned payload the HTTP API returns (default); "
+        "legacy: the deprecated pre-API '<node>: <ids>' lines",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve an artifact store over HTTP (health/artifacts/match/"
+        "top_k/reverse endpoints)",
+    )
+    serve.add_argument(
+        "--artifact-root", default="artifacts", metavar="DIR",
+        help="artifact store root directory",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8000, help="bind port")
+    serve.add_argument(
+        "--server",
+        choices=("auto", "uvicorn", "stdlib"),
+        default="auto",
+        help="HTTP stack: uvicorn/FastAPI (optional dependency) or the "
+        "dependency-free stdlib server; auto picks uvicorn when installed. "
+        "Responses are identical either way.",
+    )
+    serve.add_argument(
+        "--preload",
+        action="store_true",
+        help="host every stored artifact at startup instead of lazily on "
+        "first query",
+    )
 
     stats = subparsers.add_parser(
-        "serve-stats", help="inspect an artifact store"
+        "serve-stats", help="inspect an artifact store via its SQLite catalog"
     )
     stats.add_argument(
+        "--artifact-root", default="artifacts", metavar="DIR",
+        help="artifact store root directory",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("json", "table"),
+        default="json",
+        help="json: the same payload as GET /artifacts (default); "
+        "table: the deprecated pre-API manifest-walk table",
+    )
+
+    sync = subparsers.add_parser(
+        "catalog-sync",
+        help="backfill/refresh the store's SQLite artifact catalog from the "
+        "manifests on disk",
+    )
+    sync.add_argument(
         "--artifact-root", default="artifacts", metavar="DIR",
         help="artifact store root directory",
     )
@@ -565,14 +633,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
         args.artifact_root, args.artifact, verify=not args.no_verify
     )
     op = args.op.replace("-", "_")
-    if op in ("top_k", "reverse_top_k"):
-        answers = getattr(service, op)(artifact_id, args.nodes, args.k)
-        for node, row in zip(args.nodes, answers):
-            print(f"{node}: {' '.join(str(int(x)) for x in row)}")
+    k = args.k if op in TOP_K_OPS else None
+    # The one shared entry point: the CLI is a thin client of service.query,
+    # printing exactly what the HTTP layer would have returned.
+    response = service.query(make_query_request(artifact_id, op, args.nodes, k))
+    if args.format == "json":
+        print(json.dumps(response_payload(response), indent=2))
     else:
-        answers = getattr(service, op)(artifact_id, args.nodes)
-        for node, match in zip(args.nodes, answers):
-            print(f"{node}: {int(match)}")
+        results = response.results
+        if op in TOP_K_OPS:
+            for node, row in zip(args.nodes, results):
+                print(f"{node}: {' '.join(str(int(x)) for x in row)}")
+        else:
+            for node, match in zip(args.nodes, results):
+                print(f"{node}: {int(match)}")
     stats = service.stats()
     print(
         f"[{stats['queries']} queries in {1000 * stats['total_latency_s']:.2f} ms]",
@@ -581,11 +655,51 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api.asgi import fastapi_available, run_uvicorn
+    from repro.api.core import ApiState
+    from repro.api.http import make_server
+
+    state = ApiState(root=args.artifact_root)
+    if args.preload:
+        print(f"[preloaded {state.preload()} artifact(s)]", file=sys.stderr)
+    kind = args.server
+    if kind == "auto":
+        kind = "uvicorn" if fastapi_available() else "stdlib"
+    print(
+        f"[serving {args.artifact_root} on http://{args.host}:{args.port} "
+        f"via {kind}]",
+        file=sys.stderr,
+    )
+    if kind == "uvicorn":
+        run_uvicorn(state, host=args.host, port=args.port)
+        return 0
+    server = make_server(state, host=args.host, port=args.port, quiet=False)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
     manifests = list_artifacts(args.artifact_root)
     if not manifests:
         print(f"no artifacts under {args.artifact_root}")
         return 1
+    if args.format == "json":
+        catalog = ArtifactCatalog.for_store(args.artifact_root)
+        if catalog.count() < len(manifests):
+            # Pre-catalog store (or hand-edited): backfill before answering.
+            catalog.sync(args.artifact_root)
+        print(
+            json.dumps(
+                artifact_list_payload(catalog.find(), source="catalog"), indent=2
+            )
+        )
+        return 0
     rows = []
     for manifest in manifests:
         index_meta = dict(manifest.get("index", {}))
@@ -608,6 +722,16 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_catalog_sync(args: argparse.Namespace) -> int:
+    catalog = ArtifactCatalog.for_store(args.artifact_root)
+    registered, seen = catalog.sync(args.artifact_root)
+    print(
+        f"catalog under {args.artifact_root}: {seen} artifact(s) on disk, "
+        f"{registered} registered or updated, {catalog.count()} catalogued"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -625,8 +749,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_export_artifact(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "serve-stats":
         return _cmd_serve_stats(args)
+    if args.command == "catalog-sync":
+        return _cmd_catalog_sync(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

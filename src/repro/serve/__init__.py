@@ -32,16 +32,19 @@ from repro.serve.artifacts import (
     save_artifact,
     save_index_artifact,
 )
+from repro.serve.catalog import ArtifactCatalog
 from repro.serve.index import (
     SparseTopKIndex,
     StreamedIndexAssembler,
     build_index,
     build_index_from_embeddings,
 )
-from repro.serve.service import AlignmentService
+from repro.serve.service import AlignmentService, check_runtime_schema
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ArtifactCatalog",
+    "check_runtime_schema",
     "ArtifactIntegrityError",
     "ArtifactNotFoundError",
     "ArtifactSchemaError",

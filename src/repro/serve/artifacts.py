@@ -169,6 +169,8 @@ def _write_artifact(
     last via tmp+rename, so a directory with a manifest always has its
     arrays in place.
     """
+    from repro.serve.catalog import register_write
+
     artifact_id = str(manifest["artifact_id"])
     content_hash = manifest["content_hash"]
     path = root / artifact_id
@@ -183,6 +185,7 @@ def _write_artifact(
                 tmp = path / (MANIFEST_FILE + ".tmp")
                 tmp.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
                 os.replace(tmp, path / MANIFEST_FILE)
+            register_write(root, existing, path)
             return ArtifactInfo(
                 artifact_id=artifact_id, path=path, manifest=existing, index=index
             )
@@ -192,6 +195,7 @@ def _write_artifact(
     tmp = path / (MANIFEST_FILE + ".tmp")
     tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     os.replace(tmp, path / MANIFEST_FILE)
+    register_write(root, manifest, path)
     return ArtifactInfo(
         artifact_id=artifact_id, path=path, manifest=manifest, index=index
     )

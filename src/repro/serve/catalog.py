@@ -1,0 +1,342 @@
+"""SQLite artifact catalog: query the store without walking directories.
+
+The content-hash-addressed store (:mod:`repro.serve.artifacts`) is great at
+integrity and terrible at discovery — finding "the newest float32 douban/HTC
+artifact" previously meant reading every ``manifest.json`` under the root.
+:class:`ArtifactCatalog` keeps one SQLite database (``catalog.sqlite`` next
+to the artifact directories) indexing every artifact by id, content hash,
+dataset/method pair, config hash, dtype, kind and creation time, so lookups
+are one indexed query.
+
+Write-time registration is automatic: every save path
+(:func:`~repro.serve.artifacts.save_artifact`, ``save_index_artifact`` and
+therefore the CLI ``export-artifact`` and ``run-suite --emit-artifacts``)
+registers the manifest as the artifact lands on disk.  Stores that predate
+the catalog (or were written by an older repro) are backfilled with
+:meth:`ArtifactCatalog.sync` — exposed as ``repro.cli catalog-sync``.
+
+Concurrency: every public method opens its own short-lived connection with a
+busy timeout, so threads (and processes — suite workers emitting artifacts
+in parallel) can register and look up concurrently; registration is
+idempotent (``INSERT OR REPLACE`` keyed on the artifact id).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.runner.spec import spec_hash
+
+#: Database filename created next to the artifact directories.
+CATALOG_FILE = "catalog.sqlite"
+
+#: Catalog schema version (independent of the artifact manifest schema).
+CATALOG_SCHEMA_VERSION = 1
+
+_CREATE = """
+CREATE TABLE IF NOT EXISTS catalog_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS artifacts (
+    artifact_id    TEXT PRIMARY KEY,
+    name           TEXT NOT NULL,
+    kind           TEXT NOT NULL,
+    content_hash   TEXT,
+    dataset        TEXT,
+    method         TEXT,
+    config_hash    TEXT,
+    dtype          TEXT,
+    schema_version TEXT,
+    n_source       INTEGER,
+    n_target       INTEGER,
+    index_k        INTEGER,
+    created_unix   REAL,
+    path           TEXT,
+    metadata_json  TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_artifacts_content ON artifacts (content_hash);
+CREATE INDEX IF NOT EXISTS idx_artifacts_pair ON artifacts (dataset, method);
+CREATE INDEX IF NOT EXISTS idx_artifacts_created ON artifacts (created_unix);
+"""
+
+_COLUMNS = (
+    "artifact_id",
+    "name",
+    "kind",
+    "content_hash",
+    "dataset",
+    "method",
+    "config_hash",
+    "dtype",
+    "schema_version",
+    "n_source",
+    "n_target",
+    "index_k",
+    "created_unix",
+    "path",
+    "metadata_json",
+)
+
+#: Equality filters accepted by :meth:`ArtifactCatalog.find`.
+FILTER_FIELDS = (
+    "name",
+    "kind",
+    "content_hash",
+    "dataset",
+    "method",
+    "config_hash",
+    "dtype",
+)
+
+
+def record_from_manifest(
+    manifest: Dict[str, object], path: Optional[Union[str, Path]] = None
+) -> Dict[str, object]:
+    """Flatten one artifact manifest into a catalog row dict.
+
+    ``config_hash`` is the spec hash of the manifest's config payload (the
+    same hashing the runner uses), so artifacts produced by the same config
+    collapse to one queryable key even across dataset pairs.
+    """
+    index_meta = dict(manifest.get("index") or {})
+    shape = list(index_meta.get("shape") or [None, None])
+    metadata = dict(manifest.get("metadata") or {})
+    config = manifest.get("config")
+    version = manifest.get("schema_version")
+    return {
+        "artifact_id": str(manifest["artifact_id"]),
+        "name": str(manifest.get("name", "")),
+        "kind": str(manifest.get("kind", "alignment")),
+        "content_hash": manifest.get("content_hash"),
+        "dataset": metadata.get("dataset"),
+        "method": metadata.get("method"),
+        "config_hash": spec_hash(config) if config is not None else None,
+        "dtype": manifest.get("dtype"),
+        "schema_version": (
+            ".".join(str(x) for x in version)
+            if isinstance(version, (list, tuple))
+            else (str(version) if version is not None else None)
+        ),
+        "n_source": shape[0],
+        "n_target": shape[1],
+        "index_k": index_meta.get("k"),
+        "created_unix": manifest.get("created_unix"),
+        "path": str(path) if path is not None else None,
+        "metadata_json": json.dumps(metadata, sort_keys=True),
+    }
+
+
+def _row_to_record(row: sqlite3.Row) -> Dict[str, object]:
+    record = {key: row[key] for key in _COLUMNS if key != "metadata_json"}
+    try:
+        record["metadata"] = json.loads(row["metadata_json"] or "{}")
+    except json.JSONDecodeError:  # pragma: no cover - hand-edited db
+        record["metadata"] = {}
+    return record
+
+
+class ArtifactCatalog:
+    """One SQLite catalog of the artifacts under a store root."""
+
+    def __init__(self, db_path: Union[str, Path]) -> None:
+        self.db_path = Path(db_path)
+        self._ensure_schema()
+
+    @classmethod
+    def for_store(cls, root: Union[str, Path]) -> "ArtifactCatalog":
+        """The catalog living at ``<root>/catalog.sqlite`` (root is created)."""
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        return cls(root / CATALOG_FILE)
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        connection = sqlite3.connect(str(self.db_path), timeout=30.0)
+        connection.row_factory = sqlite3.Row
+        try:
+            yield connection
+            connection.commit()
+        finally:
+            connection.close()
+
+    def _ensure_schema(self) -> None:
+        self.db_path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as connection:
+            connection.executescript(_CREATE)
+            connection.execute(
+                "INSERT OR IGNORE INTO catalog_meta (key, value) VALUES (?, ?)",
+                ("catalog_schema_version", str(CATALOG_SCHEMA_VERSION)),
+            )
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_manifest(
+        self, manifest: Dict[str, object], path: Optional[Union[str, Path]] = None
+    ) -> Dict[str, object]:
+        """Register (or refresh) one manifest; returns the stored record."""
+        record = record_from_manifest(manifest, path)
+        with self._connect() as connection:
+            connection.execute(
+                f"INSERT OR REPLACE INTO artifacts ({', '.join(_COLUMNS)}) "
+                f"VALUES ({', '.join('?' for _ in _COLUMNS)})",
+                tuple(record[column] for column in _COLUMNS),
+            )
+        record = dict(record)
+        record["metadata"] = json.loads(record.pop("metadata_json"))
+        return record
+
+    def remove(self, artifact_id: str) -> bool:
+        """Drop one artifact from the catalog (not from disk)."""
+        with self._connect() as connection:
+            cursor = connection.execute(
+                "DELETE FROM artifacts WHERE artifact_id = ?", (artifact_id,)
+            )
+            return cursor.rowcount > 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, artifact_id: str) -> Optional[Dict[str, object]]:
+        """The catalog record of one artifact id, or ``None``."""
+        with self._connect() as connection:
+            row = connection.execute(
+                "SELECT * FROM artifacts WHERE artifact_id = ?", (artifact_id,)
+            ).fetchone()
+        return _row_to_record(row) if row is not None else None
+
+    def find(
+        self,
+        *,
+        since: Optional[float] = None,
+        limit: Optional[int] = None,
+        newest_first: bool = True,
+        **filters: Optional[str],
+    ) -> List[Dict[str, object]]:
+        """Records matching the equality ``filters``, newest first.
+
+        Accepted filters: ``name``, ``kind``, ``content_hash``, ``dataset``,
+        ``method``, ``config_hash``, ``dtype`` (``None`` values are ignored);
+        ``since`` bounds ``created_unix`` from below.
+        """
+        unknown = sorted(set(filters) - set(FILTER_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown catalog filter(s) {unknown}; "
+                f"expected any of {list(FILTER_FIELDS)}"
+            )
+        clauses: List[str] = []
+        values: List[object] = []
+        for field in FILTER_FIELDS:
+            value = filters.get(field)
+            if value is not None:
+                clauses.append(f"{field} = ?")
+                values.append(value)
+        if since is not None:
+            clauses.append("created_unix >= ?")
+            values.append(float(since))
+        sql = "SELECT * FROM artifacts"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        direction = "DESC" if newest_first else "ASC"
+        sql += f" ORDER BY created_unix {direction}, artifact_id {direction}"
+        if limit is not None:
+            sql += " LIMIT ?"
+            values.append(int(limit))
+        with self._connect() as connection:
+            rows = connection.execute(sql, tuple(values)).fetchall()
+        return [_row_to_record(row) for row in rows]
+
+    def latest(self, **filters) -> Optional[Dict[str, object]]:
+        """The newest record matching ``filters``, or ``None``."""
+        records = self.find(limit=1, **filters)
+        return records[0] if records else None
+
+    def ids(self) -> List[str]:
+        """Every catalogued artifact id, sorted."""
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT artifact_id FROM artifacts ORDER BY artifact_id"
+            ).fetchall()
+        return [row["artifact_id"] for row in rows]
+
+    def count(self) -> int:
+        """Number of catalogued artifacts."""
+        with self._connect() as connection:
+            return int(
+                connection.execute("SELECT COUNT(*) FROM artifacts").fetchone()[0]
+            )
+
+    # ------------------------------------------------------------------
+    # backfill
+    # ------------------------------------------------------------------
+    def sync(self, root: Union[str, Path]) -> Tuple[int, int]:
+        """Backfill from a directory walk; returns ``(registered, seen)``.
+
+        Registers every readable manifest under ``root`` that the catalog
+        does not already hold (or holds with a different content hash —
+        e.g. after an ``overwrite=True`` re-export), and prunes records
+        whose directories vanished.  Pre-catalog stores become fully
+        queryable after one sync.
+        """
+        from repro.serve.artifacts import list_artifacts
+
+        root = Path(root)
+        manifests = list_artifacts(root)
+        seen_ids = set()
+        registered = 0
+        for manifest in manifests:
+            artifact_id = str(manifest.get("artifact_id"))
+            seen_ids.add(artifact_id)
+            existing = self.get(artifact_id)
+            if (
+                existing is not None
+                and existing.get("content_hash") == manifest.get("content_hash")
+            ):
+                continue
+            self.register_manifest(manifest, root / artifact_id)
+            registered += 1
+        for stale in set(self.ids()) - seen_ids:
+            if not (root / stale).is_dir():
+                self.remove(stale)
+        return registered, len(manifests)
+
+    def __repr__(self) -> str:
+        return f"ArtifactCatalog({str(self.db_path)!r}, n={self.count()})"
+
+
+def register_write(
+    root: Union[str, Path], manifest: Dict[str, object], path: Union[str, Path]
+) -> None:
+    """Best-effort write-time registration hook used by the save paths.
+
+    A broken/locked/read-only catalog must never fail an export — the store
+    stays the source of truth and ``catalog-sync`` can rebuild the catalog —
+    so any error here degrades to a warning.
+    """
+    import warnings
+
+    try:
+        ArtifactCatalog.for_store(root).register_manifest(manifest, path)
+    except Exception as error:  # noqa: BLE001 - degrade, never break a save
+        warnings.warn(
+            f"artifact saved but not catalogued ({type(error).__name__}: "
+            f"{error}); run `repro.cli catalog-sync` to backfill",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
+__all__ = [
+    "CATALOG_FILE",
+    "CATALOG_SCHEMA_VERSION",
+    "FILTER_FIELDS",
+    "ArtifactCatalog",
+    "record_from_manifest",
+    "register_write",
+]

@@ -7,6 +7,14 @@ memory.  A bounded LRU cache short-circuits repeated single-node lookups
 (real query traffic is heavily skewed towards hub nodes), and hit/miss/
 latency counters expose the service's health.
 
+Every query — the in-process convenience methods, the CLI ``query`` command
+and the HTTP endpoints (:mod:`repro.api`) — routes through one shared entry
+point, :meth:`AlignmentService.query`, which takes a typed
+:class:`~repro.api.models.QueryRequest` and returns a versioned
+:class:`~repro.api.models.QueryResponse`.  One validation path, one stats
+path: the legacy per-op methods are thin wrappers that unwrap the response
+array, so their answers are bit-identical to what an HTTP client receives.
+
 All public methods are safe to call from many threads: mutable state (the
 registry, cache and counters) is guarded by one lock, while the index
 arrays themselves are immutable and read without locking.
@@ -18,15 +26,56 @@ import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.serve.artifacts import Artifact, load_artifact
+from repro.api.models import (
+    API_SCHEMA_VERSION,
+    ENGINE_VERSION,
+    QUERY_OPS,
+    TOP_K_OPS,
+    QueryRequest,
+    QueryResponse,
+    make_query_request,
+    make_query_response,
+    parse_query_request,
+)
+from repro.serve.artifacts import (
+    SCHEMA_VERSION,
+    Artifact,
+    ArtifactNotFoundError,
+    ArtifactSchemaError,
+    load_artifact,
+)
 from repro.serve.index import SparseTopKIndex
 
 #: Default maximum number of cached (artifact, op, node, k) entries.
 DEFAULT_CACHE_SIZE = 4096
+
+
+def check_runtime_schema(manifest: Mapping) -> None:
+    """Runtime-mode guard: refuse artifacts this engine cannot serve.
+
+    Raises :class:`~repro.serve.artifacts.ArtifactSchemaError` naming both
+    the artifact's manifest schema version and the engine's supported one,
+    so a mixed-version fleet fails loudly at load time instead of serving
+    silently wrong payloads.
+    """
+    version = manifest.get("schema_version")
+    if not isinstance(version, (list, tuple)) or not version:
+        raise ArtifactSchemaError(
+            f"artifact {manifest.get('artifact_id', '?')!r} has a malformed "
+            f"manifest schema_version ({version!r}); this engine "
+            f"(repro {ENGINE_VERSION}) serves schema {SCHEMA_VERSION}"
+        )
+    if int(version[0]) > SCHEMA_VERSION[0]:
+        raise ArtifactSchemaError(
+            f"artifact {manifest.get('artifact_id', '?')!r} was written by "
+            f"manifest schema {list(version)}, which this engine "
+            f"(repro {ENGINE_VERSION}, supports schema <= {SCHEMA_VERSION}) "
+            "cannot serve; upgrade repro or re-export the artifact"
+        )
 
 
 class AlignmentService:
@@ -50,6 +99,9 @@ class AlignmentService:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         self._indexes: Dict[str, SparseTopKIndex] = {}
         self._artifacts: Dict[str, Artifact] = {}
+        #: str(index.score_dtype) per artifact — numpy dtype stringification
+        #: is measurable on the per-call hot path, so it happens once here.
+        self._score_dtypes: Dict[str, str] = {}
         #: Bumped whenever an artifact id is (re)bound; lets in-flight
         #: queries detect that their index snapshot went stale before they
         #: write answers into the cache.
@@ -81,11 +133,51 @@ class AlignmentService:
         artifact = load_artifact(root, artifact_id, mode=mode, verify=verify)
         return self.add(artifact)
 
+    def load_matching(
+        self,
+        root: Union[str, Path],
+        *,
+        mode: str = "serve",
+        verify: bool = True,
+        **filters,
+    ) -> str:
+        """Load the newest artifact matching a catalog query.
+
+        Resolves through the SQLite catalog (``<root>/catalog.sqlite``, see
+        :mod:`repro.serve.catalog`) instead of a directory walk: ``filters``
+        are the catalog's equality filters (``dataset=``, ``method=``,
+        ``dtype=``, ``name=``, ``content_hash=``, ``config_hash=``,
+        ``kind=``).  Raises
+        :class:`~repro.serve.artifacts.ArtifactNotFoundError` when nothing
+        matches.
+        """
+        from repro.serve.catalog import ArtifactCatalog
+
+        record = ArtifactCatalog.for_store(root).latest(**filters)
+        if record is None:
+            described = {k: v for k, v in filters.items() if v is not None}
+            raise ArtifactNotFoundError(
+                f"no catalogued artifact under {root} matches {described}; "
+                "run `repro.cli catalog-sync` if the store predates the catalog"
+            )
+        return self.load(
+            root, str(record["artifact_id"]), mode=mode, verify=verify
+        )
+
     def add(self, artifact: Artifact) -> str:
-        """Host an already-loaded artifact (replaces a same-id artifact)."""
+        """Host an already-loaded artifact (replaces a same-id artifact).
+
+        The runtime-mode guard runs here (the choke point of every hosting
+        path): an artifact whose manifest schema this engine does not
+        support is refused with an error naming both versions.
+        """
+        check_runtime_schema(artifact.manifest)
         with self._lock:
             self._artifacts[artifact.artifact_id] = artifact
             self._indexes[artifact.artifact_id] = artifact.index
+            self._score_dtypes[artifact.artifact_id] = str(
+                artifact.index.score_dtype
+            )
             self._bump_generation(artifact.artifact_id)
         return artifact.artifact_id
 
@@ -94,6 +186,7 @@ class AlignmentService:
         with self._lock:
             self._artifacts.pop(artifact_id, None)
             self._indexes[artifact_id] = index
+            self._score_dtypes[artifact_id] = str(index.score_dtype)
             self._bump_generation(artifact_id)
         return artifact_id
 
@@ -102,6 +195,7 @@ class AlignmentService:
         with self._lock:
             self._indexes.pop(artifact_id, None)
             self._artifacts.pop(artifact_id, None)
+            self._score_dtypes.pop(artifact_id, None)
             self._bump_generation(artifact_id)
 
     def _bump_generation(self, artifact_id: str) -> None:
@@ -121,6 +215,9 @@ class AlignmentService:
             artifact = self._artifacts.get(artifact_id)
         info: Dict[str, object] = {
             "artifact_id": artifact_id,
+            "schema_version": API_SCHEMA_VERSION,
+            "engine_version": ENGINE_VERSION,
+            "score_dtype": str(index.score_dtype),
             "shape": [int(index.shape[0]), int(index.shape[1])],
             "index_k": int(index.k),
             "reverse_k": int(index.reverse_k),
@@ -131,6 +228,9 @@ class AlignmentService:
         if artifact is not None:
             info["metadata"] = dict(artifact.metadata)
             info["name"] = artifact.manifest.get("name")
+            info["artifact_schema_version"] = artifact.manifest.get(
+                "schema_version"
+            )
         return info
 
     def _get_index(self, artifact_id: str) -> SparseTopKIndex:
@@ -151,21 +251,60 @@ class AlignmentService:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def query(
+        self, request: Union[QueryRequest, Mapping]
+    ) -> QueryResponse:
+        """Answer one typed request — the single shared query entry point.
+
+        Accepts a :class:`~repro.api.models.QueryRequest` (trusted,
+        in-process construction) or a raw mapping, which is put through the
+        same wire validator the HTTP layer uses
+        (:func:`~repro.api.models.parse_query_request`).  Semantic failures
+        keep their long-standing exception types so existing callers are
+        unchanged: unknown artifact → ``KeyError``, node ids out of range →
+        ``IndexError``, bad ``op``/``k`` → ``ValueError``.  The response's
+        ``results`` stays an ndarray (bit-identical to the wrapper methods);
+        :func:`~repro.api.models.response_payload` renders the wire dict.
+        """
+        if isinstance(request, Mapping):
+            request = parse_query_request(request)
+        op = request.op
+        if op not in QUERY_OPS:
+            raise ValueError(f"unknown op {op!r}; expected one of {QUERY_OPS}")
+        k: Optional[int] = None
+        if op in TOP_K_OPS:
+            if request.k is None:
+                raise ValueError(f"op {op!r} requires k")
+            k = int(request.k)
+        answers = self._query(request.artifact_id, op, request.nodes, k)
+        # _query just resolved the index; a plain dict read (GIL-atomic) is
+        # enough for the dtype tag even if a concurrent unload races us.
+        score_dtype = self._score_dtypes.get(request.artifact_id, "unknown")
+        return make_query_response(request, answers, score_dtype)
+
     def match(self, artifact_id: str, source_nodes) -> np.ndarray:
         """Best target per source node (batched argmax)."""
-        return self._query(artifact_id, "match", source_nodes, None)
+        return self.query(
+            make_query_request(artifact_id, "match", source_nodes)
+        ).results
 
     def top_k(self, artifact_id: str, source_nodes, k: int) -> np.ndarray:
         """Top-``k`` targets per source node, best first."""
-        return self._query(artifact_id, "top_k", source_nodes, int(k))
+        return self.query(
+            make_query_request(artifact_id, "top_k", source_nodes, int(k))
+        ).results
 
     def reverse_match(self, artifact_id: str, target_nodes) -> np.ndarray:
         """Best source per target node (argmax over columns)."""
-        return self._query(artifact_id, "reverse_match", target_nodes, None)
+        return self.query(
+            make_query_request(artifact_id, "reverse_match", target_nodes)
+        ).results
 
     def reverse_top_k(self, artifact_id: str, target_nodes, k: int) -> np.ndarray:
         """Top-``k`` sources per target node, best first."""
-        return self._query(artifact_id, "reverse_top_k", target_nodes, int(k))
+        return self.query(
+            make_query_request(artifact_id, "reverse_top_k", target_nodes, int(k))
+        ).results
 
     def _run_op(
         self, index: SparseTopKIndex, op: str, nodes: np.ndarray, k: Optional[int]
@@ -252,6 +391,8 @@ class AlignmentService:
         queries = counters["queries"]
         batches = counters["batches"]
         return {
+            "schema_version": API_SCHEMA_VERSION,
+            "engine_version": ENGINE_VERSION,
             "artifacts": hosted,
             "queries": int(queries),
             "batches": int(batches),
@@ -284,4 +425,4 @@ class AlignmentService:
         return f"AlignmentService(artifacts={hosted}, cache_size={self._cache_size})"
 
 
-__all__ = ["AlignmentService", "DEFAULT_CACHE_SIZE"]
+__all__ = ["AlignmentService", "DEFAULT_CACHE_SIZE", "check_runtime_schema"]

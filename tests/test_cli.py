@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -147,6 +149,36 @@ class TestServeCommands:
             ]
         )
         assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["op"] == "top_k"
+        assert payload["k"] == 3
+        assert payload["artifact_id"] == artifact_id
+        assert payload["schema_version"]
+        assert payload["engine_version"]
+        assert len(payload["results"]) == 2
+        assert len(payload["results"][0]) == 3
+
+    def test_query_legacy_format(self, tmp_path, capsys):
+        artifact_id = self._export(tmp_path, capsys)
+        code = main(
+            [
+                "query",
+                "--artifact-root",
+                str(tmp_path / "arts"),
+                "--artifact",
+                artifact_id,
+                "--op",
+                "top-k",
+                "--k",
+                "3",
+                "--nodes",
+                "0",
+                "1",
+                "--format",
+                "legacy",
+            ]
+        )
+        assert code == 0
         output = capsys.readouterr().out
         lines = [line for line in output.splitlines() if line.strip()]
         assert len(lines) == 2
@@ -169,7 +201,22 @@ class TestServeCommands:
             ]
         )
         assert code == 0
-        assert capsys.readouterr().out.startswith("2: ")
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["op"] == "reverse_match"
+        assert payload["k"] is None
+        assert len(payload["results"]) == 1
+
+    def test_catalog_sync_backfills(self, tmp_path, capsys):
+        artifact_id = self._export(tmp_path, capsys)
+        root = tmp_path / "arts"
+        (root / "catalog.sqlite").unlink()  # simulate a pre-catalog store
+        code = main(["catalog-sync", "--artifact-root", str(root)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "1 registered or updated" in output
+        from repro.serve.catalog import ArtifactCatalog
+
+        assert ArtifactCatalog.for_store(root).get(artifact_id) is not None
 
     def test_serve_stats_lists_artifacts(self, tmp_path, capsys):
         artifact_id = self._export(tmp_path, capsys)
