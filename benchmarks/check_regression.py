@@ -53,6 +53,8 @@ MAX_COLLAPSE = 0.5
 # Check kinds:
 #   "true"  — fresh value must be truthy (always enforced)
 #   "floor" — fresh value must be >= the given floor (always enforced)
+#   "ceil"  — fresh value must be <= the given ceiling (always enforced);
+#             the SLO counterpart of "floor" for tail latency and overhead
 #   "time"  — fresh must be <= MAX_SLOWDOWN * baseline (same mode only)
 #   "rate"  — fresh must be >= MAX_COLLAPSE * baseline (same mode only)
 CHECKS = {
@@ -102,6 +104,26 @@ CHECKS = {
         ("http.sustained_qps", "rate", None),
         ("http.p99_ms", "time", None),
     ],
+    "BENCH_loadtest.json": [
+        # The server's own /metrics must agree exactly with what the
+        # clients measured — the observability layer is gated like a
+        # correctness property, not a nice-to-have.
+        ("metrics_agree", "true", None),
+        ("open_loop.no_failures", "true", None),
+        # First-class SLOs (always enforced, both modes): sustained
+        # open-loop throughput floor and p99 ceiling.  The ceiling is far
+        # above the recorded ~21ms because open-loop latency charges
+        # queueing delay to the measurement — a slow CI runner shifts it,
+        # a server that stops keeping up explodes it to seconds.
+        ("open_loop.sustained_qps", "floor", 15000.0),
+        ("open_loop.p99_ms", "ceil", 250.0),
+        # The stats path must stay cheap: recording a batch is ~2µs next
+        # to a ~11µs in-process match, so >60% would mean a lock or
+        # allocation regression in the metrics core.
+        ("instrumentation_overhead.overhead_pct", "ceil", 60.0),
+        ("open_loop.sustained_qps", "rate", None),
+        ("capacity.sustained_qps", "rate", None),
+    ],
     "BENCH_shard.json": [
         ("within_tolerance", "true", None),
         ("memory_ratio", "floor", 1.5),
@@ -125,6 +147,7 @@ REGEN_COMMANDS = {
     "BENCH_runner.json": "python benchmarks/bench_runner.py",
     "BENCH_serve.json": "python benchmarks/bench_serve.py",
     "BENCH_api.json": "python benchmarks/bench_api.py",
+    "BENCH_loadtest.json": "python benchmarks/bench_loadtest.py",
     "BENCH_precision.json": "python benchmarks/bench_precision.py",
     "BENCH_shard.json": "python benchmarks/bench_shard.py",
 }
@@ -204,6 +227,17 @@ def check_file(name: str, baseline: dict, fresh: dict) -> list:
             print(
                 f"  [{'OK' if ok else 'FAIL'}] {path} = "
                 f"{float(fresh_value):.3g} (floor {floor})"
+            )
+            continue
+        if kind == "ceil":
+            ok = float(fresh_value) <= floor
+            if not ok:
+                failures.append(
+                    f"{name}:{path}: {float(fresh_value):.3g} above ceiling {floor}"
+                )
+            print(
+                f"  [{'OK' if ok else 'FAIL'}] {path} = "
+                f"{float(fresh_value):.3g} (ceiling {floor})"
             )
             continue
         # Relative checks need a comparable baseline value.

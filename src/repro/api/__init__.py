@@ -42,6 +42,7 @@ from repro.api.models import (
 #: Lazily resolved exports → the submodule that defines them.
 _LAZY = {
     "ApiState": "repro.api.core",
+    "RawResponse": "repro.api.core",
     "dispatch": "repro.api.core",
     "ApiHTTPServer": "repro.api.http",
     "BackgroundServer": "repro.api.http",
@@ -75,6 +76,7 @@ __all__ = [
     "BackgroundServer",
     "QueryRequest",
     "QueryResponse",
+    "RawResponse",
     "USING_PYDANTIC",
     "create_app",
     "create_default_app",

@@ -20,7 +20,7 @@ import importlib.util
 import os
 from typing import Optional
 
-from repro.api.core import ApiState, dispatch
+from repro.api.core import ApiState, RawResponse, dispatch
 from repro.api.models import API_SCHEMA_VERSION, ENGINE_VERSION
 
 
@@ -43,7 +43,7 @@ def create_app(state: Optional[ApiState] = None, root: Optional[str] = None):
             "(repro.cli serve --server stdlib)"
         )
     from fastapi import FastAPI, Request
-    from fastapi.responses import JSONResponse
+    from fastapi.responses import JSONResponse, Response
 
     if state is None:
         state = ApiState(root=root)
@@ -69,6 +69,18 @@ def create_app(state: Optional[ApiState] = None, root: Optional[str] = None):
     @app.get("/stats")
     def stats() -> JSONResponse:
         return _json(dispatch(state, "GET", "/stats"))
+
+    @app.get("/metrics")
+    def metrics(request: Request) -> Response:
+        params = dict(request.query_params)
+        status, payload = dispatch(state, "GET", "/metrics", params=params)
+        if isinstance(payload, RawResponse):
+            return Response(
+                content=payload.encode(),
+                status_code=status,
+                media_type=payload.content_type,
+            )
+        return _json((status, payload))
 
     @app.get("/artifacts")
     def artifacts(request: Request) -> JSONResponse:

@@ -15,6 +15,8 @@ Endpoints (all JSON)::
                                     method, dtype, name, kind, limit)
     GET  /artifacts/<artifact_id>   one artifact: catalog record + hosted info
     GET  /stats                     service counters snapshot
+    GET  /metrics                   Prometheus text exposition (?format=json
+                                    for the JSON snapshot)
     POST /match                     batched argmax        {artifact_id, nodes}
     POST /top_k                     batched top-k         {artifact_id, nodes, k}
     POST /reverse                   reverse match / top-k {artifact_id, nodes[, k]}
@@ -26,9 +28,10 @@ Errors are structured 4xx bodies (:class:`~repro.api.models.ApiError`):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.api.models import (
     ApiBadRequestError,
@@ -45,8 +48,29 @@ from repro.serve.artifacts import (
     ArtifactSchemaError,
     list_artifacts,
 )
+from repro.obs.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    json_snapshot,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.serve.catalog import FILTER_FIELDS, ArtifactCatalog
 from repro.serve.service import AlignmentService
+
+
+@dataclass
+class RawResponse:
+    """A non-JSON response body (the ``/metrics`` exposition page).
+
+    Both transports send ``text`` verbatim with ``content_type``, so the
+    page is byte-identical no matter which server fronted it.
+    """
+
+    text: str
+    content_type: str = PROMETHEUS_CONTENT_TYPE
+
+    def encode(self) -> bytes:
+        return self.text.encode("utf-8")
 
 
 @dataclass
@@ -64,11 +88,17 @@ class ApiState:
         (``auto_load``).
     auto_load:
         Lazily load store artifacts the first time they are queried.
+    metrics:
+        Registry receiving the API-layer request series.  Defaults to the
+        process-global registry so ``/metrics`` also exposes whatever else
+        the process recorded (spans, cache counters); tests pass a private
+        registry for isolation.
     """
 
     service: AlignmentService = field(default_factory=AlignmentService)
     root: Optional[Path] = None
     auto_load: bool = True
+    metrics: MetricsRegistry = field(default_factory=default_registry)
 
     def __post_init__(self) -> None:
         if self.root is not None:
@@ -98,6 +128,34 @@ def handle_health(state: ApiState) -> Dict[str, object]:
 
 def handle_stats(state: ApiState) -> Dict[str, object]:
     return state.service.stats()
+
+
+def _metrics_registries(state: ApiState) -> Tuple[MetricsRegistry, ...]:
+    """The registries one scrape of ``state`` exposes (deduplicated)."""
+    registries = [state.metrics]
+    if state.service.metrics is not state.metrics:
+        registries.append(state.service.metrics)
+    return tuple(registries)
+
+
+def handle_metrics(
+    state: ApiState, params: Optional[Mapping[str, str]] = None
+) -> Union[RawResponse, Dict[str, object]]:
+    """``GET /metrics``: Prometheus text (default) or ``?format=json``.
+
+    Exposes the API request series plus the service's per-op registry in
+    one page.  The scrape itself is deliberately *not* counted in
+    ``api_requests_total`` so back-to-back scrapes are identical — the
+    transport-parity guarantee extends to this endpoint.
+    """
+    fmt = (params or {}).get("format", "prometheus")
+    if fmt == "json":
+        return json_snapshot(*_metrics_registries(state))
+    if fmt != "prometheus":
+        raise ApiBadRequestError(
+            f"unknown metrics format {fmt!r}; expected prometheus or json"
+        )
+    return RawResponse(prometheus_text(*_metrics_registries(state)))
 
 
 def handle_artifacts(
@@ -207,24 +265,33 @@ POST_ROUTES = {
 }
 
 
-def dispatch(
+def _endpoint_label(method: str, path: str) -> str:
+    """Bounded-cardinality ``endpoint`` label of one request path."""
+    if method == "GET":
+        if path in ("/health", "/stats", "/artifacts", "/metrics"):
+            return path
+        if path.startswith("/artifacts/"):
+            return "/artifacts/{id}"
+    elif method == "POST" and path in POST_ROUTES:
+        return path
+    return "other"
+
+
+def _route(
     state: ApiState,
     method: str,
     path: str,
-    params: Optional[Mapping[str, str]] = None,
-    body: Optional[Mapping] = None,
-) -> Tuple[int, Dict[str, object]]:
-    """Route one request; returns ``(status, json_body)`` and never raises.
-
-    This is the whole HTTP surface in one function — both bundled servers
-    call it, and tests can drive it directly without opening a socket.
-    """
+    params: Optional[Mapping[str, str]],
+    body: Optional[Mapping],
+) -> Tuple[int, Union[Dict[str, object], RawResponse]]:
     try:
         if method == "GET":
             if path == "/health":
                 return 200, handle_health(state)
             if path == "/stats":
                 return 200, handle_stats(state)
+            if path == "/metrics":
+                return 200, handle_metrics(state, params)
             if path == "/artifacts":
                 return 200, handle_artifacts(state, params)
             if path.startswith("/artifacts/"):
@@ -245,13 +312,47 @@ def dispatch(
         return error.status, error.body()
 
 
+def dispatch(
+    state: ApiState,
+    method: str,
+    path: str,
+    params: Optional[Mapping[str, str]] = None,
+    body: Optional[Mapping] = None,
+) -> Tuple[int, Union[Dict[str, object], RawResponse]]:
+    """Route one request; returns ``(status, json_body)`` and never raises.
+
+    This is the whole HTTP surface in one function — both bundled servers
+    call it, and tests can drive it directly without opening a socket.
+    Every request except ``/metrics`` scrapes is recorded into the state's
+    registry as ``api_requests_total{endpoint,status}`` (status classes:
+    2xx/4xx/...) and an ``api_request_seconds{endpoint}`` histogram.
+    """
+    if method == "GET" and path == "/metrics":
+        # Scrapes are served un-instrumented so consecutive scrapes (and
+        # scrapes through different transports) return identical bytes.
+        return _route(state, method, path, params, body)
+    started = time.perf_counter()
+    status, payload = _route(state, method, path, params, body)
+    elapsed = time.perf_counter() - started
+    endpoint = _endpoint_label(method, path)
+    state.metrics.counter(
+        "api_requests_total", endpoint=endpoint, status=f"{status // 100}xx"
+    ).inc()
+    state.metrics.histogram("api_request_seconds", endpoint=endpoint).observe(
+        elapsed
+    )
+    return status, payload
+
+
 __all__ = [
     "ApiState",
     "POST_ROUTES",
+    "RawResponse",
     "dispatch",
     "handle_artifact_get",
     "handle_artifacts",
     "handle_health",
+    "handle_metrics",
     "handle_query",
     "handle_stats",
 ]

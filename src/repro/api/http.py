@@ -25,7 +25,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
-from repro.api.core import ApiState, dispatch
+from repro.api.core import ApiState, RawResponse, dispatch
 from repro.api.models import ApiValidationError
 
 #: Largest accepted request body; bigger batches should be split.
@@ -52,10 +52,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: ApiHTTPServer
 
-    def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+    def _send(self, status: int, payload) -> None:
+        if isinstance(payload, RawResponse):
+            body = payload.encode()
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

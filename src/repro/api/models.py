@@ -27,7 +27,9 @@ import numpy as np
 from repro import __version__ as ENGINE_VERSION
 
 #: Version of the request/response payload schema (bump on breaking change).
-API_SCHEMA_VERSION = "1.0"
+#: 1.1: ``/stats`` grew the ``latency`` histogram-summary key and the
+#: ``/metrics`` exposition endpoint appeared (additive, same major).
+API_SCHEMA_VERSION = "1.1"
 
 #: Query operations, mirroring :class:`~repro.serve.service.AlignmentService`.
 QUERY_OPS = ("match", "top_k", "reverse_match", "reverse_top_k")

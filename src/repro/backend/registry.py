@@ -121,18 +121,36 @@ class BackendRegistry:
     def resolve(self, name: str = AUTO_BACKEND) -> str:
         """Normalise a selector to a concrete, available backend name."""
         if name == AUTO_BACKEND:
-            return self.default()
-        if name not in self._backends:
+            resolved = self.default()
+        elif name not in self._backends:
             raise ValueError(
                 f"unknown {self.kind} backend {name!r}; "
                 f"expected '{AUTO_BACKEND}' or one of {self.available()}"
             )
-        if not self.is_available(name):
+        elif not self.is_available(name):
             raise BackendUnavailableError(
                 f"{self.kind} backend {name!r} is registered but not available "
                 f"on this interpreter; available: {self.available()}"
             )
-        return name
+        else:
+            resolved = name
+        self._note_resolution(resolved)
+        return resolved
+
+    def _note_resolution(self, resolved: str) -> None:
+        """Count one resolution in the process-global metrics registry.
+
+        Imported lazily: :mod:`repro.obs` is stdlib-only and never imports
+        :mod:`repro.backend`, but the local import keeps this module usable
+        even mid-bootstrap of a partial install.
+        """
+        try:
+            from repro.obs.metrics import default_registry
+        except ImportError:  # pragma: no cover - partial install
+            return
+        default_registry().counter(
+            "backend_resolutions_total", kind=self.kind, backend=resolved
+        ).inc()
 
     def get(self, name: str = AUTO_BACKEND) -> object:
         """The implementation behind ``name`` (after :meth:`resolve`)."""

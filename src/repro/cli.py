@@ -419,10 +419,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--format",
-        choices=("json", "table"),
+        choices=("json", "table", "prometheus"),
         default="json",
         help="json: the same payload as GET /artifacts (default); "
-        "table: the deprecated pre-API manifest-walk table",
+        "table: the deprecated pre-API manifest-walk table; "
+        "prometheus: the same text exposition format as GET /metrics, with "
+        "store-level gauges — scrapeable without a running server",
     )
 
     sync = subparsers.add_parser(
@@ -689,6 +691,24 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
     if not manifests:
         print(f"no artifacts under {args.artifact_root}")
         return 1
+    if args.format == "prometheus":
+        # Rendered by the exact /metrics code path (handle_metrics →
+        # prometheus_text), so the exposition format is byte-compatible
+        # with what a running server serves — just from a cold store.
+        from repro.api.core import ApiState, handle_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry("serve-stats")
+        registry.gauge("store_artifacts_total").set(len(manifests))
+        for manifest in manifests:
+            dtype = str(manifest.get("dtype", "unknown"))
+            registry.counter("store_artifacts_by_dtype_total", dtype=dtype).inc()
+            index_meta = dict(manifest.get("index", {}))
+            shape = index_meta.get("shape") or [0, 0]
+            registry.gauge("store_index_rows_total").inc(float(shape[0]))
+        state = ApiState(root=args.artifact_root, metrics=registry)
+        print(handle_metrics(state).text, end="")
+        return 0
     if args.format == "json":
         catalog = ArtifactCatalog.for_store(args.artifact_root)
         if catalog.count() < len(manifests):

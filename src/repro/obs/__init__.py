@@ -1,0 +1,47 @@
+"""repro.obs — dependency-free observability core.
+
+Thread-safe counters/gauges, mergeable fixed-bucket latency histograms,
+opt-in span tracing, and deterministic Prometheus/JSON exposition.  See
+:mod:`repro.obs.metrics`, :mod:`repro.obs.tracing` and
+:mod:`repro.obs.exposition`.
+"""
+
+from repro.obs.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    json_snapshot,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    OBS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.tracing import (
+    TRACE_ENV_VAR,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "OBS_SCHEMA_VERSION",
+    "PROMETHEUS_CONTENT_TYPE",
+    "TRACE_ENV_VAR",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "enable_tracing",
+    "json_snapshot",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "span",
+    "tracing_enabled",
+]

@@ -1,0 +1,115 @@
+"""Lightweight wall-time span tracing with nested attribution.
+
+Spans attribute wall time to named phases of a pipeline::
+
+    with span("shard.align"):
+        with span("stitch.merge"):
+            ...
+
+Each exited span records its duration into a ``span_seconds`` histogram
+labelled with its *path* — nested spans join their names with ``/``
+(``shard.align/stitch.merge`` above) so attribution survives aggregation —
+and bumps a ``span_total`` counter.  Nesting is tracked per thread.
+
+Tracing is **opt-in** and the off path is a no-op: ``span()`` returns a
+shared singleton context manager that touches no locks, takes no
+timestamps and allocates nothing.  Enable it programmatically with
+:func:`enable_tracing` or by exporting ``REPRO_TRACE=1`` before the
+process starts (any value other than ``""``/``"0"`` enables).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+#: Environment switch honoured at import time; see :func:`enable_tracing`.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_enabled = os.environ.get(TRACE_ENV_VAR, "") not in ("", "0")
+_stack = threading.local()
+
+
+def tracing_enabled() -> bool:
+    """Whether :func:`span` records anything right now."""
+    return _enabled
+
+
+def enable_tracing(on: bool = True) -> None:
+    """Turn span recording on (or off) for the whole process."""
+    global _enabled
+    _enabled = bool(on)
+
+
+class _NullSpan:
+    """The disabled path: one shared, stateless, no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An active span; records ``span_seconds{span=<path>}`` on exit."""
+
+    __slots__ = ("name", "registry", "path", "_started")
+
+    def __init__(self, name: str, registry: MetricsRegistry) -> None:
+        self.name = name
+        self.registry = registry
+        self.path = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = _span_stack()
+        if stack:
+            self.path = f"{stack[-1].path}/{self.name}"
+        stack.append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._started
+        stack = _span_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.registry.histogram("span_seconds", span=self.path).observe(elapsed)
+        self.registry.counter("span_total", span=self.path).inc()
+
+
+def _span_stack() -> List[_Span]:
+    stack = getattr(_stack, "spans", None)
+    if stack is None:
+        stack = _stack.spans = []
+    return stack
+
+
+def span(name: str, registry: Optional[MetricsRegistry] = None):
+    """Context manager timing one named phase (no-op while tracing is off).
+
+    ``registry`` defaults to the process-global default registry; pass a
+    private one (as the runner's per-job instrumentation does) to keep a
+    unit of work's spans separable for cross-process merging.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _Span(name, registry if registry is not None else default_registry())
+
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "enable_tracing",
+    "span",
+    "tracing_enabled",
+]

@@ -32,6 +32,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.graph.attributed_graph import AttributedGraph
+from repro.obs.metrics import default_registry
 from repro.orbits.edge_orbits import EdgeOrbitCounts
 
 #: Cache record kinds and the arrays a well-formed record must contain.
@@ -107,15 +108,18 @@ class OrbitCache:
             if record is not None:
                 self._memory.move_to_end((key, kind))
                 self.hits += 1
+                default_registry().counter("orbit_cache_hits_total").inc()
                 return record
         record = self._load_disk(key, kind)
         if record is not None:
             self._store_memory(key, kind, record)
             with self._lock:
                 self.hits += 1
+            default_registry().counter("orbit_cache_hits_total").inc()
             return record
         with self._lock:
             self.misses += 1
+        default_registry().counter("orbit_cache_misses_total").inc()
         return None
 
     def _put_record(self, key: str, kind: str, record: dict) -> None:

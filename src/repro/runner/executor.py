@@ -115,10 +115,20 @@ def execute_job(
     run's raw ``align`` output) is additionally persisted as a serve
     artifact under that directory (see :mod:`repro.serve.artifacts`); the
     job payload then records its ``serve_artifact`` id and path.
+
+    When span tracing is on (``REPRO_TRACE=1`` /
+    :func:`repro.obs.enable_tracing`), the job's per-phase spans
+    (``runner.job/load_dataset`` etc.) are recorded into a job-local
+    registry and attached as ``artifact["observability"]`` — a mergeable
+    snapshot that :func:`run_suite` folds into the suite manifest.  The
+    key is absent when tracing is off, so cached artifacts and manifests
+    stay byte-stable for the executor-parity checks.
     """
     from repro.core import HTCConfig
     from repro.datasets import load_dataset
     from repro.eval.protocol import run_method
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import span, tracing_enabled
 
     from repro import __version__
 
@@ -137,30 +147,37 @@ def execute_job(
     if use_alarm:
         previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    obs_registry = MetricsRegistry(job.job_id) if tracing_enabled() else None
     started = time.perf_counter()
     try:
-        config_overrides = dict(job.config)
-        config_overrides.setdefault("random_state", job.seed)
-        config = HTCConfig(**config_overrides)
-        resolver = method_resolver if method_resolver is not None else resolve_method
-        method = resolver(job.method, config)
-        pair = load_dataset(job.dataset, **dict(job.dataset_params))
-        last_alignment: List[object] = []
-        on_result = last_alignment.append if emit_artifacts_dir else None
-        result = run_method(
-            method,
-            pair,
-            train_ratio=job.train_ratio,
-            n_runs=job.n_runs,
-            random_state=job.seed,
-            on_result=on_result,
-        )
-        artifact["status"] = STATUS_DONE
-        artifact["result"] = result.to_dict()
-        if emit_artifacts_dir and last_alignment:
-            artifact["serve_artifact"] = _emit_serve_artifact(
-                last_alignment[-1], config, job, emit_artifacts_dir
+        with span("runner.job", obs_registry):
+            config_overrides = dict(job.config)
+            config_overrides.setdefault("random_state", job.seed)
+            config = HTCConfig(**config_overrides)
+            resolver = (
+                method_resolver if method_resolver is not None else resolve_method
             )
+            method = resolver(job.method, config)
+            with span("load_dataset", obs_registry):
+                pair = load_dataset(job.dataset, **dict(job.dataset_params))
+            last_alignment: List[object] = []
+            on_result = last_alignment.append if emit_artifacts_dir else None
+            with span("align", obs_registry):
+                result = run_method(
+                    method,
+                    pair,
+                    train_ratio=job.train_ratio,
+                    n_runs=job.n_runs,
+                    random_state=job.seed,
+                    on_result=on_result,
+                )
+            artifact["status"] = STATUS_DONE
+            artifact["result"] = result.to_dict()
+            if emit_artifacts_dir and last_alignment:
+                with span("emit_artifact", obs_registry):
+                    artifact["serve_artifact"] = _emit_serve_artifact(
+                        last_alignment[-1], config, job, emit_artifacts_dir
+                    )
     except JobTimeout:
         artifact["status"] = STATUS_TIMEOUT
         artifact["error"] = f"job exceeded the {timeout}s wall-clock budget"
@@ -174,6 +191,8 @@ def execute_job(
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous_handler)
     artifact["wall_seconds"] = time.perf_counter() - started
+    if obs_registry is not None and len(obs_registry):
+        artifact["observability"] = obs_registry.snapshot()
     return artifact
 
 
@@ -448,6 +467,23 @@ def run_suite(
             for a in ordered
         ],
     }
+    # Cross-process span aggregation: jobs traced in worker processes ship
+    # their registry snapshots home in the artifact payload; merging them is
+    # exact because every histogram shares one bucket scheme.  The key is
+    # absent when no job carried spans (tracing off), keeping manifests
+    # stable for the executor-parity CI check.
+    job_snapshots = [
+        a["observability"]
+        for a in ordered
+        if isinstance(a.get("observability"), dict)
+    ]
+    if job_snapshots:
+        from repro.obs.metrics import MetricsRegistry
+
+        merged = MetricsRegistry("suite")
+        for snapshot in job_snapshots:
+            merged.merge_snapshot(snapshot)
+        manifest["observability"] = merged.snapshot()
     manifest_path = suite_dir / "manifest.json"
     _write_json(manifest_path, manifest)
     return SuiteRunReport(

@@ -16,8 +16,10 @@ path: the legacy per-op methods are thin wrappers that unwrap the response
 array, so their answers are bit-identical to what an HTTP client receives.
 
 All public methods are safe to call from many threads: mutable state (the
-registry, cache and counters) is guarded by one lock, while the index
-arrays themselves are immutable and read without locking.
+registry and cache) is guarded by one lock, the index arrays themselves are
+immutable and read without locking, and the stats live in a per-service
+:class:`~repro.obs.metrics.MetricsRegistry` whose metrics carry their own
+locks — recording a query never serializes against query execution.
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -48,10 +50,29 @@ from repro.serve.artifacts import (
     ArtifactSchemaError,
     load_artifact,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.index import SparseTopKIndex
 
 #: Default maximum number of cached (artifact, op, node, k) entries.
 DEFAULT_CACHE_SIZE = 4096
+
+#: Stage labels of the per-op ``serve_stage_seconds`` histograms.
+QUERY_STAGES = ("cache_probe", "index_lookup", "assemble")
+
+
+class _OpMetrics:
+    """The metric handles of one op, resolved once and then lock-free."""
+
+    __slots__ = ("queries", "batches", "batch_seconds", "stage_seconds")
+
+    def __init__(self, registry: MetricsRegistry, op: str) -> None:
+        self.queries = registry.counter("serve_queries_total", op=op)
+        self.batches = registry.counter("serve_batches_total", op=op)
+        self.batch_seconds = registry.histogram("serve_batch_seconds", op=op)
+        self.stage_seconds = {
+            stage: registry.histogram("serve_stage_seconds", op=op, stage=stage)
+            for stage in QUERY_STAGES
+        }
 
 
 def check_runtime_schema(manifest: Mapping) -> None:
@@ -109,14 +130,15 @@ class AlignmentService:
         self._cache: "OrderedDict[Tuple, object]" = OrderedDict()
         self._cache_size = cache_size
         self._lock = threading.RLock()
-        self._counters: Dict[str, float] = {
-            "queries": 0,
-            "batches": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-            "total_latency_s": 0.0,
-        }
-        self._op_counts: Dict[str, int] = {}
+        #: Per-service metrics.  Every metric carries its own lock, so the
+        #: service-wide ``_lock`` (which also guards index access) is never
+        #: taken to record stats; ``_stats_lock`` only guards creation of
+        #: the cached per-op handle bundles.
+        self.metrics = MetricsRegistry("serve")
+        self._stats_lock = threading.Lock()
+        self._op_metrics: Dict[str, _OpMetrics] = {}
+        self._m_cache_hits = self.metrics.counter("serve_cache_hits_total")
+        self._m_cache_misses = self.metrics.counter("serve_cache_misses_total")
 
     # ------------------------------------------------------------------
     # artifact hosting
@@ -329,11 +351,15 @@ class AlignmentService:
         node_array = np.atleast_1d(np.asarray(nodes, dtype=np.intp))
 
         if self._cache_size == 0 or node_array.size == 0:
+            lookup_started = time.perf_counter()
             answers = self._run_op(index, op, node_array, k)
-            self._note(op, node_array.size, hits=0, started=started)
+            lookup_s = time.perf_counter() - lookup_started
+            self._note(op, node_array.size, hits=0, started=started,
+                       stages=(("index_lookup", lookup_s),))
             return answers
 
         # Per-node cache probe; misses are answered in one vectorized call.
+        probe_started = time.perf_counter()
         keys = [(artifact_id, op, int(node), k) for node in node_array]
         cached: Dict[int, object] = {}
         with self._lock:
@@ -342,6 +368,8 @@ class AlignmentService:
                     self._cache.move_to_end(key)
                     cached[position] = self._cache[key]
         miss_positions = [p for p in range(node_array.size) if p not in cached]
+        lookup_started = time.perf_counter()
+        probe_s = lookup_started - probe_started
         if miss_positions:
             miss_answers = self._run_op(
                 index, op, node_array[miss_positions], k
@@ -361,63 +389,117 @@ class AlignmentService:
                     cached[position] = value
                 while len(self._cache) > self._cache_size:
                     self._cache.popitem(last=False)
+        assemble_started = time.perf_counter()
+        lookup_s = assemble_started - lookup_started
         answers = np.stack([np.asarray(cached[p]) for p in range(node_array.size)])
         if op in ("match", "reverse_match"):
             answers = answers.reshape(node_array.size)
+        assemble_s = time.perf_counter() - assemble_started
         self._note(op, node_array.size, hits=len(keys) - len(miss_positions),
-                   started=started)
+                   started=started,
+                   stages=(("cache_probe", probe_s),
+                           ("index_lookup", lookup_s),
+                           ("assemble", assemble_s)))
         return answers
 
-    def _note(self, op: str, n_nodes: int, hits: int, started: float) -> None:
+    def _op_handles(self, op: str) -> _OpMetrics:
+        handles = self._op_metrics.get(op)  # GIL-atomic read, no lock
+        if handles is None:
+            with self._stats_lock:
+                handles = self._op_metrics.get(op)
+                if handles is None:
+                    handles = _OpMetrics(self.metrics, op)
+                    self._op_metrics[op] = handles
+        return handles
+
+    def _note(
+        self,
+        op: str,
+        n_nodes: int,
+        hits: int,
+        started: float,
+        stages: Sequence[Tuple[str, float]] = (),
+    ) -> None:
+        """Record one answered batch.  Never takes the service-wide lock."""
         elapsed = time.perf_counter() - started
-        with self._lock:
-            self._counters["queries"] += n_nodes
-            self._counters["batches"] += 1
-            self._counters["cache_hits"] += hits
-            self._counters["cache_misses"] += n_nodes - hits
-            self._counters["total_latency_s"] += elapsed
-            self._op_counts[op] = self._op_counts.get(op, 0) + n_nodes
+        handles = self._op_handles(op)
+        handles.queries.inc(n_nodes)
+        handles.batches.inc()
+        handles.batch_seconds.observe(elapsed)
+        if hits:
+            self._m_cache_hits.inc(hits)
+        if n_nodes > hits:
+            self._m_cache_misses.inc(n_nodes - hits)
+        for stage, seconds in stages:
+            handles.stage_seconds[stage].observe(seconds)
 
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """Counters snapshot: queries, hit rate, latency, hosted artifacts."""
+        """Counters snapshot: queries, hit rate, latency, hosted artifacts.
+
+        The flat legacy keys (``queries``, ``total_latency_s``, ``per_op``,
+        ...) are derived from the per-op metric series, and the schema-1.1
+        ``latency`` key adds per-op batch and per-stage histogram summaries
+        (count/sum/min/max and p50/p95/p99 upper bounds).
+        """
         with self._lock:
-            counters = dict(self._counters)
-            op_counts = dict(self._op_counts)
             hosted = sorted(self._indexes)
             cache_entries = len(self._cache)
-        queries = counters["queries"]
-        batches = counters["batches"]
+        with self._stats_lock:
+            op_handles = dict(self._op_metrics)
+        queries = 0
+        batches = 0
+        total_latency = 0.0
+        per_op: Dict[str, int] = {}
+        latency: Dict[str, object] = {}
+        for op in sorted(op_handles):
+            handles = op_handles[op]
+            op_queries = int(handles.queries.value)
+            if op_queries == 0 and handles.batches.value == 0:
+                continue  # reset since last use; hide the zeroed series
+            queries += op_queries
+            batches += int(handles.batches.value)
+            total_latency += handles.batch_seconds.sum
+            per_op[op] = op_queries
+            latency[op] = {
+                "batch": handles.batch_seconds.summary(),
+                "stages": {
+                    stage: histogram.summary()
+                    for stage, histogram in sorted(
+                        handles.stage_seconds.items()
+                    )
+                    if histogram.count
+                },
+            }
+        cache_hits = int(self._m_cache_hits.value)
+        cache_misses = int(self._m_cache_misses.value)
         return {
             "schema_version": API_SCHEMA_VERSION,
             "engine_version": ENGINE_VERSION,
             "artifacts": hosted,
-            "queries": int(queries),
-            "batches": int(batches),
+            "queries": queries,
+            "batches": batches,
             "cache_entries": cache_entries,
-            "cache_hits": int(counters["cache_hits"]),
-            "cache_misses": int(counters["cache_misses"]),
-            "hit_rate": (counters["cache_hits"] / queries) if queries else 0.0,
-            "total_latency_s": counters["total_latency_s"],
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "hit_rate": (cache_hits / queries) if queries else 0.0,
+            "total_latency_s": total_latency,
             "avg_batch_latency_ms": (
-                1000.0 * counters["total_latency_s"] / batches if batches else 0.0
+                1000.0 * total_latency / batches if batches else 0.0
             ),
             "queries_per_second": (
-                queries / counters["total_latency_s"]
-                if counters["total_latency_s"] > 0
-                else 0.0
+                queries / total_latency if total_latency > 0 else 0.0
             ),
-            "per_op": op_counts,
+            "per_op": per_op,
+            "latency": latency,
         }
 
     def reset_stats(self) -> None:
-        """Zero the counters (hosted artifacts and cache are kept)."""
-        with self._lock:
-            for key in self._counters:
-                self._counters[key] = 0 if key != "total_latency_s" else 0.0
-            self._op_counts.clear()
+        """Zero every stats series — counters, histograms and recorded
+        spans alike (hosted artifacts and the query cache are kept)."""
+        self.metrics.reset()
 
     def __repr__(self) -> str:
         with self._lock:
@@ -425,4 +507,9 @@ class AlignmentService:
         return f"AlignmentService(artifacts={hosted}, cache_size={self._cache_size})"
 
 
-__all__ = ["AlignmentService", "DEFAULT_CACHE_SIZE", "check_runtime_schema"]
+__all__ = [
+    "AlignmentService",
+    "DEFAULT_CACHE_SIZE",
+    "QUERY_STAGES",
+    "check_runtime_schema",
+]

@@ -34,6 +34,8 @@ from repro.core.config import HTCConfig
 from repro.core.result import AlignmentResult
 from repro.datasets.io import save_pair
 from repro.datasets.pair import GraphPair
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import span
 from repro.runner.executor import STATUS_CACHED, STATUS_DONE, run_suite
 from repro.runner.spec import SuiteSpec
 from repro.serve.artifacts import load_artifact
@@ -145,7 +147,8 @@ def align_sharded(
     seed = config.random_state if isinstance(config.random_state, int) else 0
 
     started = time.perf_counter()
-    plan = build_shard_plan(pair, n_shards, overlap=overlap, seed=seed)
+    with span("shard.partition"):
+        plan = build_shard_plan(pair, n_shards, overlap=overlap, seed=seed)
     partition_s = time.perf_counter() - started
 
     cleanup = workdir is None
@@ -170,15 +173,18 @@ def align_sharded(
             timeout=timeout,
         )
         started = time.perf_counter()
-        report = run_suite(
-            suite,
-            workdir / "runs",
-            jobs=jobs,
-            resume=resume,
-            timeout=timeout,
-            emit_artifacts=True,
-            executor=executor if executor is not None else config.executor_backend,
-        )
+        with span("shard.align"):
+            report = run_suite(
+                suite,
+                workdir / "runs",
+                jobs=jobs,
+                resume=resume,
+                timeout=timeout,
+                emit_artifacts=True,
+                executor=(
+                    executor if executor is not None else config.executor_backend
+                ),
+            )
         align_s = time.perf_counter() - started
 
         by_dataset = {str(a["spec"]["dataset"]): a for a in report.artifacts}
@@ -243,37 +249,39 @@ def align_sharded(
             )
 
         started = time.perf_counter()
-        if stitch == "streaming":
-            stitched = stitch_alignments_streaming(
-                plan,
-                index_sources,
-                pair.source.n_nodes,
-                pair.target.n_nodes,
-                k=index_k,
-                reverse_k=reverse_k,
-                workdir=workdir / "stitch_stream",
-            )
-        else:
-            stitched = stitch_alignments(
-                plan,
-                matrices,
-                pair.source.n_nodes,
-                pair.target.n_nodes,
-                k=index_k,
-                reverse_k=reverse_k,
-            )
+        with span("shard.stitch"):
+            if stitch == "streaming":
+                stitched = stitch_alignments_streaming(
+                    plan,
+                    index_sources,
+                    pair.source.n_nodes,
+                    pair.target.n_nodes,
+                    k=index_k,
+                    reverse_k=reverse_k,
+                    workdir=workdir / "stitch_stream",
+                )
+            else:
+                stitched = stitch_alignments(
+                    plan,
+                    matrices,
+                    pair.source.n_nodes,
+                    pair.target.n_nodes,
+                    k=index_k,
+                    reverse_k=reverse_k,
+                )
         stitch_s = time.perf_counter() - started
 
         refine_s = 0.0
         if refine_iterations > 0:
             started = time.perf_counter()
-            stitched = refine_stitched(
-                stitched,
-                pair.source,
-                pair.target,
-                iterations=refine_iterations,
-                alpha=refine_alpha,
-            )
+            with span("shard.refine"):
+                stitched = refine_stitched(
+                    stitched,
+                    pair.source,
+                    pair.target,
+                    iterations=refine_iterations,
+                    alpha=refine_alpha,
+                )
             refine_s = time.perf_counter() - started
 
         stitched.stage_times = {
@@ -282,6 +290,14 @@ def align_sharded(
             "stitch": stitch_s,
             "refine": refine_s,
         }
+        # Always-on per-phase histograms (the spans above are opt-in);
+        # one observe per phase per sharded run — negligible next to the
+        # phases themselves.
+        registry = default_registry()
+        for stage, seconds in stitched.stage_times.items():
+            registry.histogram("shard_stage_seconds", stage=stage).observe(
+                seconds
+            )
         stitched.shard_stats = shard_stats
         logger.info(
             "sharded %s: %d shards, %d conflicts resolved, %.2fs total",

@@ -36,6 +36,7 @@ import scipy.sparse as sp
 
 from repro.backend.precision import as_score_matrix, score_dtype
 from repro.core.result import AlignmentResult
+from repro.obs.tracing import span
 from repro.graph.attributed_graph import AttributedGraph
 from repro.serve.index import DEFAULT_INDEX_K, SparseTopKIndex
 from repro.shard.partition import ShardPlan
@@ -258,12 +259,14 @@ def stitch_alignments(
     width = min(k, n_target)
     reverse_width = min(reverse_k, n_source)
 
-    rows, cols, scores, shards = _candidates_from_shards(
-        plan, matrices, width, reverse=False
-    )
-    indices, fwd_scores, n_duplicates = _assemble_side(
-        rows, cols, scores, shards, n_source, n_target, width
-    )
+    with span("stitch.candidates"):
+        rows, cols, scores, shards = _candidates_from_shards(
+            plan, matrices, width, reverse=False
+        )
+    with span("stitch.merge"):
+        indices, fwd_scores, n_duplicates = _assemble_side(
+            rows, cols, scores, shards, n_source, n_target, width
+        )
     multi_shard = 0
     if rows.size:
         pair_key = rows.astype(np.int64) * np.int64(len(plan.pairs) + 1) + shards
@@ -271,12 +274,14 @@ def stitch_alignments(
         counts = np.bincount(sources_with_shards.astype(np.int64))
         multi_shard = int((counts > 1).sum())
 
-    r_rows, r_cols, r_scores, r_shards = _candidates_from_shards(
-        plan, matrices, reverse_width, reverse=True
-    )
-    reverse_indices, reverse_scores, _ = _assemble_side(
-        r_rows, r_cols, r_scores, r_shards, n_target, n_source, reverse_width
-    )
+    with span("stitch.candidates"):
+        r_rows, r_cols, r_scores, r_shards = _candidates_from_shards(
+            plan, matrices, reverse_width, reverse=True
+        )
+    with span("stitch.merge"):
+        reverse_indices, reverse_scores, _ = _assemble_side(
+            r_rows, r_cols, r_scores, r_shards, n_target, n_source, reverse_width
+        )
 
     index = SparseTopKIndex(
         shape=(n_source, n_target),
