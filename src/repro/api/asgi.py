@@ -70,6 +70,10 @@ def create_app(state: Optional[ApiState] = None, root: Optional[str] = None):
     def stats() -> JSONResponse:
         return _json(dispatch(state, "GET", "/stats"))
 
+    @app.get("/backends")
+    def backends() -> JSONResponse:
+        return _json(dispatch(state, "GET", "/backends"))
+
     @app.get("/metrics")
     def metrics(request: Request) -> Response:
         params = dict(request.query_params)

@@ -11,8 +11,12 @@ matter which server fronted them.
 Endpoints (all JSON)::
 
     GET  /health                    liveness + engine/schema versions
+    GET  /backends                  backend registries: every kind, each
+                                    backend's availability/priority and the
+                                    resolved "auto" choice
     GET  /artifacts                 catalog-backed listing (filters: dataset,
-                                    method, dtype, name, kind, limit)
+                                    method, dtype, name, kind; pagination:
+                                    limit, offset; stable newest-first order)
     GET  /artifacts/<artifact_id>   one artifact: catalog record + hosted info
     GET  /stats                     service counters snapshot
     GET  /metrics                   Prometheus text exposition (?format=json
@@ -37,7 +41,9 @@ from repro.api.models import (
     ApiBadRequestError,
     ApiError,
     ApiNotFoundError,
+    ApiValidationError,
     artifact_list_payload,
+    backend_list_payload,
     health_payload,
     parse_query_request,
     response_payload,
@@ -158,25 +164,103 @@ def handle_metrics(
     return RawResponse(prometheus_text(*_metrics_registries(state)))
 
 
+def handle_backends(state: ApiState) -> Dict[str, object]:
+    """``GET /backends``: every registry kind, its backends, the auto choice.
+
+    Availability runs through the registries' lazy predicates — an absent
+    optional dependency (numba, ...) is reported ``available: false``
+    without ever being imported.  ``auto`` is ``None`` for a kind with no
+    usable backend at all.
+    """
+    # Imported here (not module top) so the API layer stays importable even
+    # mid-bootstrap; seeding the built-in registries makes a fresh process
+    # report all kinds, not just the ones something already touched.
+    from repro.backend.compute import compute_registry
+    from repro.backend.executor import executor_registry
+    from repro.backend.registry import (
+        BackendUnavailableError,
+        get_registry,
+        registered_kinds,
+    )
+    from repro.orbits.engine import orbit_registry
+
+    orbit_registry()
+    compute_registry()
+    executor_registry()
+    kinds: Dict[str, Dict[str, object]] = {}
+    for kind in registered_kinds():
+        registry = get_registry(kind)
+        try:
+            auto = registry.default()
+        except BackendUnavailableError:
+            auto = None
+        kinds[kind] = {
+            "auto": auto,
+            "backends": [
+                {"name": name, **info}
+                for name, info in registry.describe().items()
+            ],
+        }
+    return backend_list_payload(kinds)
+
+
+def _parse_page_param(
+    params: Dict[str, str], name: str, errors: list
+) -> Optional[int]:
+    """Pop and validate one non-negative integer pagination param."""
+    raw = params.pop(name, None)
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        errors.append(
+            {"loc": [name], "msg": f"must be a non-negative integer, got {raw!r}"}
+        )
+        return None
+    if value < 0:
+        errors.append({"loc": [name], "msg": f"must be >= 0, got {value}"})
+        return None
+    return value
+
+
 def handle_artifacts(
     state: ApiState, params: Optional[Mapping[str, str]] = None
 ) -> Dict[str, object]:
-    """Catalog-backed artifact listing (no directory walk when catalogued)."""
+    """Catalog-backed artifact listing (no directory walk when catalogued).
+
+    Pagination: ``limit``/``offset`` over the stable
+    ``(created_at DESC, artifact_id ASC)`` ordering, with ``total`` counting
+    every match regardless of the page.  Bad filter or pagination params are
+    a 422 with structured ``[{loc, msg}]`` detail entries (same error shape
+    as the query-payload validator).
+    """
     params = dict(params or {})
-    limit = params.pop("limit", None)
-    try:
-        limit = int(limit) if limit is not None else None
-    except ValueError:
-        raise ApiBadRequestError(f"limit must be an integer, got {limit!r}")
-    unknown = sorted(set(params) - set(FILTER_FIELDS))
-    if unknown:
-        raise ApiBadRequestError(
-            f"unknown filter(s) {unknown}; expected any of {list(FILTER_FIELDS)}"
+    errors: list = []
+    limit = _parse_page_param(params, "limit", errors)
+    offset = _parse_page_param(params, "offset", errors)
+    for name in sorted(set(params) - set(FILTER_FIELDS)):
+        errors.append(
+            {
+                "loc": [name],
+                "msg": f"unknown filter; expected any of {list(FILTER_FIELDS)}",
+            }
+        )
+    if errors:
+        raise ApiValidationError(
+            "; ".join(
+                f"{'.'.join(map(str, e['loc']))}: {e['msg']}" for e in errors
+            ),
+            detail=errors,
         )
     catalog = state.catalog
     if catalog is not None:
         return artifact_list_payload(
-            catalog.find(limit=limit, **params), source="catalog"
+            catalog.find(limit=limit, offset=offset, **params),
+            source="catalog",
+            total=catalog.count(**params),
+            limit=limit,
+            offset=offset,
         )
     # No store root: fall back to describing what is hosted in memory.
     if params:
@@ -188,7 +272,15 @@ def handle_artifacts(
         state.service.describe(artifact_id)
         for artifact_id in state.service.artifact_ids()
     ]
-    return artifact_list_payload(records[:limit], source="hosted")
+    start = offset or 0
+    stop = None if limit is None else start + limit
+    return artifact_list_payload(
+        records[start:stop],
+        source="hosted",
+        total=len(records),
+        limit=limit,
+        offset=offset,
+    )
 
 
 def handle_artifact_get(state: ApiState, artifact_id: str) -> Dict[str, object]:
@@ -268,7 +360,7 @@ POST_ROUTES = {
 def _endpoint_label(method: str, path: str) -> str:
     """Bounded-cardinality ``endpoint`` label of one request path."""
     if method == "GET":
-        if path in ("/health", "/stats", "/artifacts", "/metrics"):
+        if path in ("/health", "/stats", "/artifacts", "/metrics", "/backends"):
             return path
         if path.startswith("/artifacts/"):
             return "/artifacts/{id}"
@@ -290,6 +382,8 @@ def _route(
                 return 200, handle_health(state)
             if path == "/stats":
                 return 200, handle_stats(state)
+            if path == "/backends":
+                return 200, handle_backends(state)
             if path == "/metrics":
                 return 200, handle_metrics(state, params)
             if path == "/artifacts":
@@ -351,6 +445,7 @@ __all__ = [
     "dispatch",
     "handle_artifact_get",
     "handle_artifacts",
+    "handle_backends",
     "handle_health",
     "handle_metrics",
     "handle_query",

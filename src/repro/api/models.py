@@ -29,7 +29,10 @@ from repro import __version__ as ENGINE_VERSION
 #: Version of the request/response payload schema (bump on breaking change).
 #: 1.1: ``/stats`` grew the ``latency`` histogram-summary key and the
 #: ``/metrics`` exposition endpoint appeared (additive, same major).
-API_SCHEMA_VERSION = "1.1"
+#: 1.2: ``GET /backends`` appeared; ``/artifacts`` gained ``limit``/``offset``
+#: pagination with a ``total`` count and stable ordering; query responses and
+#: ``/stats`` gained ``orbit_backend`` provenance (additive, same major).
+API_SCHEMA_VERSION = "1.2"
 
 #: Query operations, mirroring :class:`~repro.serve.service.AlignmentService`.
 QUERY_OPS = ("match", "top_k", "reverse_match", "reverse_top_k")
@@ -135,6 +138,9 @@ if USING_PYDANTIC:
         op: str
         k: Optional[int]
         score_dtype: str
+        #: Orbit-counting backend that produced the artifact's orbits
+        #: (``"unknown"`` when the artifact predates the provenance tag).
+        orbit_backend: str
         n_nodes: int
         #: ``np.ndarray`` internally; :func:`response_payload` serialises.
         results: Any
@@ -161,6 +167,7 @@ else:
         op: str
         k: Optional[int]
         score_dtype: str
+        orbit_backend: str
         n_nodes: int
         results: Any
 
@@ -200,7 +207,10 @@ def make_query_request(
 
 
 def make_query_response(
-    request: QueryRequest, results: np.ndarray, score_dtype: str
+    request: QueryRequest,
+    results: np.ndarray,
+    score_dtype: str,
+    orbit_backend: str = "unknown",
 ) -> QueryResponse:
     """Build the response for a served request (results stay an ndarray)."""
     return _construct(
@@ -212,6 +222,7 @@ def make_query_response(
             "op": request.op,
             "k": request.k if request.op in TOP_K_OPS else None,
             "score_dtype": score_dtype,
+            "orbit_backend": orbit_backend,
             "n_nodes": (
                 int(results.shape[0])
                 if isinstance(results, np.ndarray)
@@ -339,6 +350,7 @@ def response_payload(response: QueryResponse) -> Dict[str, object]:
         "op": response.op,
         "k": response.k,
         "score_dtype": response.score_dtype,
+        "orbit_backend": getattr(response, "orbit_backend", "unknown"),
         "n_nodes": response.n_nodes,
         "results": results,
     }
@@ -356,15 +368,45 @@ def health_payload(artifact_ids: List[str]) -> Dict[str, object]:
 
 
 def artifact_list_payload(
-    records: List[Dict[str, object]], source: str
+    records: List[Dict[str, object]],
+    source: str,
+    *,
+    total: Optional[int] = None,
+    limit: Optional[int] = None,
+    offset: Optional[int] = None,
 ) -> Dict[str, object]:
-    """The ``GET /artifacts`` body (``source``: ``"catalog"`` or ``"scan"``)."""
+    """The ``GET /artifacts`` body (``source``: ``"catalog"`` or ``"hosted"``).
+
+    ``records`` is the returned page; ``total`` counts every record matching
+    the filters regardless of pagination (defaults to the page length, which
+    is only correct when no pagination was requested).  The echoed ``limit``
+    and ``offset`` let clients page statelessly.
+    """
     return {
         "schema_version": API_SCHEMA_VERSION,
         "engine_version": ENGINE_VERSION,
         "source": source,
+        "total": len(records) if total is None else int(total),
+        "limit": limit,
+        "offset": offset,
         "n_artifacts": len(records),
         "artifacts": records,
+    }
+
+
+def backend_list_payload(
+    kinds: Mapping[str, Dict[str, object]]
+) -> Dict[str, object]:
+    """The ``GET /backends`` body.
+
+    ``kinds`` maps each registry kind to ``{"auto": <name-or-None>,
+    "backends": [{"name", "available", "priority"}, ...]}`` — built by
+    :func:`repro.api.core.handle_backends` from the live registries.
+    """
+    return {
+        "schema_version": API_SCHEMA_VERSION,
+        "engine_version": ENGINE_VERSION,
+        "kinds": {kind: kinds[kind] for kind in sorted(kinds)},
     }
 
 
@@ -386,4 +428,5 @@ __all__ = [
     "response_payload",
     "health_payload",
     "artifact_list_payload",
+    "backend_list_payload",
 ]

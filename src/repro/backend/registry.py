@@ -94,12 +94,49 @@ class BackendRegistry:
         """Every registered backend name, sorted (availability ignored)."""
         return tuple(sorted(self._backends))
 
+    def _probe(self, name: str) -> Tuple[bool, Optional[str]]:
+        """Evaluate one availability predicate; never raises.
+
+        Returns ``(available, reason)`` where ``reason`` describes a probe
+        failure — a predicate that *raises* marks the backend unavailable
+        (a broken optional dependency must not take resolution down with
+        it; the error surfaces in the message when the backend is asked
+        for by name).
+        """
+        available = self._availability[name]
+        if not callable(available):
+            return bool(available), None
+        try:
+            return bool(available()), None
+        except Exception as error:
+            return False, f"{type(error).__name__}: {error}"
+
     def is_available(self, name: str) -> bool:
         """Whether ``name`` is registered and currently usable."""
         if name not in self._backends:
             return False
-        available = self._availability[name]
-        return bool(available() if callable(available) else available)
+        return self._probe(name)[0]
+
+    def priority(self, name: str) -> int:
+        """The registered priority of ``name`` (``"auto"`` prefers higher)."""
+        if name not in self._priorities:
+            raise ValueError(f"unknown {self.kind} backend {name!r}")
+        return self._priorities[name]
+
+    def describe(self) -> Dict[str, Dict[str, object]]:
+        """Introspection snapshot: ``name -> {available, priority}``, sorted.
+
+        Availability runs through the lazy predicates only — an unavailable
+        backend is reported, never imported.  This is the payload source of
+        the API's ``GET /backends``.
+        """
+        return {
+            name: {
+                "available": self.is_available(name),
+                "priority": self._priorities[name],
+            }
+            for name in self.names()
+        }
 
     def available(self) -> Tuple[str, ...]:
         """Currently usable backend names, sorted."""
@@ -127,12 +164,17 @@ class BackendRegistry:
                 f"unknown {self.kind} backend {name!r}; "
                 f"expected '{AUTO_BACKEND}' or one of {self.available()}"
             )
-        elif not self.is_available(name):
-            raise BackendUnavailableError(
-                f"{self.kind} backend {name!r} is registered but not available "
-                f"on this interpreter; available: {self.available()}"
-            )
         else:
+            usable, reason = self._probe(name)
+            if not usable:
+                message = (
+                    f"{self.kind} backend {name!r} is registered but not "
+                    f"available on this interpreter; "
+                    f"available: {self.available()}"
+                )
+                if reason:
+                    message += f" (availability probe failed: {reason})"
+                raise BackendUnavailableError(message)
             resolved = name
         self._note_resolution(resolved)
         return resolved

@@ -1,0 +1,97 @@
+"""The ``"sparse"`` compute backend: scipy.sparse GEMMs for sparse factors.
+
+Structural score factors built from low-degree graphs (one-hot-ish GDV
+blocks, truncated neighbourhood features) are often mostly zeros, but the
+dense GEMM in the scoring hot path pays for every zero anyway.  This backend
+routes a ``matmul`` through ``scipy.sparse`` CSR products when *both*
+operands are sparse enough to win, and falls back to the plain dense product
+otherwise — same signature, same ``out``-writing contract as the numpy
+backend (:mod:`repro.backend.compute`).
+
+It registers with **negative priority**: sparse float accumulation orders
+additions differently from a dense GEMM, so results can differ in the last
+ulp and the backend must be opted into explicitly (``backend="sparse"`` /
+``HTCConfig.backend``) — ``"auto"`` keeps resolving to ``"numpy"`` and the
+locked float64 bit-identity of the default path is untouched.  Availability
+is probed lazily via ``importlib.util.find_spec`` like every optional
+backend, even though scipy is a hard dependency of the graph layer, so the
+registry treats it uniformly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Optional
+
+import numpy as np
+
+from repro.backend.compute import ComputeBackend
+
+#: Density (fraction of non-zeros) at or below which an operand counts as
+#: sparse.  Conservative: CSR GEMM only beats BLAS when most work vanishes.
+SPARSE_DENSITY_THRESHOLD = 0.25
+
+#: Minimum operand size worth the CSR conversion overhead.
+_MIN_ELEMENTS = 4096
+
+_SCIPY_CHECKED = False
+_SCIPY_PRESENT = False
+
+
+def scipy_available() -> bool:
+    """Whether scipy is importable — probed once, without importing it."""
+    global _SCIPY_CHECKED, _SCIPY_PRESENT
+    if not _SCIPY_CHECKED:
+        try:
+            _SCIPY_PRESENT = importlib.util.find_spec("scipy.sparse") is not None
+        except (ImportError, ValueError):  # pragma: no cover - broken meta_path
+            _SCIPY_PRESENT = False
+        _SCIPY_CHECKED = True
+    return _SCIPY_PRESENT
+
+
+def _density(array: np.ndarray) -> float:
+    if array.size == 0:
+        return 0.0
+    return float(np.count_nonzero(array)) / float(array.size)
+
+
+def _use_sparse(a: np.ndarray, b: np.ndarray, threshold: float) -> bool:
+    if a.size < _MIN_ELEMENTS or b.size < _MIN_ELEMENTS:
+        return False
+    return _density(a) <= threshold and _density(b) <= threshold
+
+
+def sparse_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray,
+    *,
+    threshold: Optional[float] = None,
+) -> np.ndarray:
+    """``a @ b`` into ``out``, via CSR products when both operands qualify."""
+    limit = SPARSE_DENSITY_THRESHOLD if threshold is None else float(threshold)
+    if not _use_sparse(a, b, limit):
+        return np.matmul(a, b, out=out)
+    import scipy.sparse as sp
+
+    product = sp.csr_matrix(a) @ sp.csr_matrix(b)
+    np.copyto(out, product.toarray())
+    return out
+
+
+def _sparse_clip(a, lo, hi, out):
+    return np.clip(a, lo, hi, out=out)
+
+
+SPARSE_BACKEND = ComputeBackend(
+    name="sparse", matmul=sparse_matmul, clip=_sparse_clip
+)
+
+
+__all__ = [
+    "SPARSE_BACKEND",
+    "SPARSE_DENSITY_THRESHOLD",
+    "scipy_available",
+    "sparse_matmul",
+]

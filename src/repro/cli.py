@@ -62,6 +62,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from typing import List, Optional, Sequence
 
 from repro.backend import (
@@ -642,6 +643,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.format == "json":
         print(json.dumps(response_payload(response), indent=2))
     else:
+        warnings.warn(
+            "query --format legacy is deprecated and will be removed in the "
+            "next minor release; use the default --format json, which emits "
+            "the same versioned payload as the HTTP API",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         results = response.results
         if op in TOP_K_OPS:
             for node, row in zip(args.nodes, results):

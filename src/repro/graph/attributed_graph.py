@@ -73,6 +73,28 @@ class AttributedGraph:
         self._attributes = attributes
         self.name = str(name)
 
+    @classmethod
+    def _from_validated_csr(
+        cls,
+        adjacency: sp.csr_matrix,
+        attributes: np.ndarray,
+        name: str,
+    ) -> "AttributedGraph":
+        """Trusted constructor for callers that guarantee a clean matrix.
+
+        ``adjacency`` must already be a canonical CSR: symmetric, zero
+        diagonal, sorted indices, no explicit zeros; ``attributes`` must be
+        a validated ``(n, d)`` float64 matrix (e.g. taken from an existing
+        graph).  Used by hot paths that rebuild graphs they derived from a
+        validated one (:mod:`repro.orbits.delta`) — the public constructor's
+        symmetrise/clean pass costs more than an entire delta recount.
+        """
+        graph = cls.__new__(cls)
+        graph._adjacency = adjacency
+        graph._attributes = attributes
+        graph.name = str(name)
+        return graph
+
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------

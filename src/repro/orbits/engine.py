@@ -8,7 +8,11 @@ counting.  Two backends are registered out of the box:
   the exact reference oracle,
 * ``"numpy"`` — the vectorized bitset counters
   (:mod:`repro.orbits.vectorized`), bit-identical and an order of magnitude
-  faster (see ``benchmarks/bench_orbit_counting.py``).
+  faster (see ``benchmarks/bench_orbit_counting.py``),
+* ``"numba"`` — the JIT loop kernel (:mod:`repro.orbits.jit`), registered
+  with a lazy availability probe so it only resolves when numba is
+  importable; bit-identical by construction (it shares the closed-form
+  orbit assembly with the numpy backend).
 
 Backend selection lives in the shared :mod:`repro.backend` registry (kind
 ``"orbit"``): this module registers its counters there and the
@@ -34,6 +38,7 @@ import numpy as np
 from repro.backend.registry import AUTO_BACKEND, BackendRegistry, get_registry
 from repro.graph.attributed_graph import AttributedGraph
 from repro.orbits import edge_orbits as _edge_reference
+from repro.orbits import jit as _jit
 from repro.orbits import node_orbits as _node_reference
 from repro.orbits import vectorized as _vectorized
 from repro.orbits.cache import OrbitCache, graph_content_hash
@@ -86,6 +91,17 @@ def orbit_registry() -> BackendRegistry:
             priority=10,
             available=_HAS_BITWISE_COUNT,
         )
+    if "numba" not in registry.names():
+        registry.register(
+            "numba",
+            OrbitBackend(
+                name="numba",
+                count_edge_orbits=_jit.count_edge_orbits_jit,
+                count_node_orbits=_jit.count_node_orbits_jit,
+            ),
+            priority=20,
+            available=_jit.numba_available,
+        )
     return registry
 
 
@@ -95,7 +111,7 @@ DEFAULT_BACKEND = orbit_registry().default()
 #: Backends proven bit-identical; only these share cache records.  Externally
 #: registered backends get backend-qualified cache keys so an approximate
 #: counter can never serve (or be served) another backend's results.
-_VERIFIED_BACKENDS = frozenset(("python", "numpy"))
+_VERIFIED_BACKENDS = frozenset(("python", "numpy", "numba"))
 
 
 def _cache_key(graph: AttributedGraph, backend: str) -> str:

@@ -201,6 +201,33 @@ def _write_artifact(
     )
 
 
+def _annotate_orbit_backend(
+    metadata: Optional[Dict[str, object]], config
+) -> Dict[str, object]:
+    """Stamp orbit-backend provenance into the metadata annotations.
+
+    The resolved name of the config's orbit backend (``"auto"`` resolved to
+    the concrete default) is recorded so queries can report which counter
+    produced the artifact's orbits.  Only applies when a config is supplied
+    — config-less exports (bare score matrices, test fixtures) keep their
+    metadata untouched.  An explicit ``orbit_backend`` key always wins.
+    Metadata is outside the content hash, so artifact ids are unaffected.
+    """
+    annotations = dict(metadata or {})
+    if config is None or "orbit_backend" in annotations:
+        return annotations
+    selector = str(getattr(config, "orbit_backend", "auto") or "auto")
+    if selector == "auto":
+        try:
+            from repro.orbits.engine import orbit_registry
+
+            selector = orbit_registry().default()
+        except Exception:  # pragma: no cover - no orbit backend usable
+            pass
+    annotations["orbit_backend"] = selector
+    return annotations
+
+
 def save_artifact(
     result: AlignmentResult,
     config: Optional[HTCConfig] = None,
@@ -272,7 +299,7 @@ def save_artifact(
         "scalars": scalars,
         "arrays": array_meta,
         "index": index.meta_payload(),
-        "metadata": dict(metadata or {}),
+        "metadata": _annotate_orbit_backend(metadata, config),
     }
     return _write_artifact(root, manifest, arrays, index, overwrite)
 
@@ -324,7 +351,7 @@ def save_index_artifact(
         "scalars": {},
         "arrays": array_meta,
         "index": index.meta_payload(),
-        "metadata": dict(metadata or {}),
+        "metadata": _annotate_orbit_backend(metadata, config),
     }
     return _write_artifact(root, manifest, arrays, index, overwrite)
 

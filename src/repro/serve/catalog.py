@@ -210,20 +210,11 @@ class ArtifactCatalog:
             ).fetchone()
         return _row_to_record(row) if row is not None else None
 
-    def find(
-        self,
-        *,
-        since: Optional[float] = None,
-        limit: Optional[int] = None,
-        newest_first: bool = True,
-        **filters: Optional[str],
-    ) -> List[Dict[str, object]]:
-        """Records matching the equality ``filters``, newest first.
-
-        Accepted filters: ``name``, ``kind``, ``content_hash``, ``dataset``,
-        ``method``, ``config_hash``, ``dtype`` (``None`` values are ignored);
-        ``since`` bounds ``created_unix`` from below.
-        """
+    @staticmethod
+    def _filter_clauses(
+        filters: Dict[str, Optional[str]], since: Optional[float]
+    ) -> Tuple[List[str], List[object]]:
+        """The shared WHERE fragments of :meth:`find` and :meth:`count`."""
         unknown = sorted(set(filters) - set(FILTER_FIELDS))
         if unknown:
             raise ValueError(
@@ -240,14 +231,41 @@ class ArtifactCatalog:
         if since is not None:
             clauses.append("created_unix >= ?")
             values.append(float(since))
+        return clauses, values
+
+    def find(
+        self,
+        *,
+        since: Optional[float] = None,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        newest_first: bool = True,
+        **filters: Optional[str],
+    ) -> List[Dict[str, object]]:
+        """Records matching the equality ``filters``, newest first.
+
+        Accepted filters: ``name``, ``kind``, ``content_hash``, ``dataset``,
+        ``method``, ``config_hash``, ``dtype`` (``None`` values are ignored);
+        ``since`` bounds ``created_unix`` from below.
+
+        Ordering is ``(created_unix DESC, artifact_id ASC)`` (creation time
+        flipped by ``newest_first=False``); the id tie-break is always
+        ascending, so paging with ``limit``/``offset`` is stable even when
+        many records share one creation timestamp (e.g. a bulk sync).
+        """
+        clauses, values = self._filter_clauses(filters, since)
         sql = "SELECT * FROM artifacts"
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         direction = "DESC" if newest_first else "ASC"
-        sql += f" ORDER BY created_unix {direction}, artifact_id {direction}"
-        if limit is not None:
+        sql += f" ORDER BY created_unix {direction}, artifact_id ASC"
+        if limit is not None or offset is not None:
+            # SQLite requires a LIMIT clause to accept OFFSET; -1 = no limit.
             sql += " LIMIT ?"
-            values.append(int(limit))
+            values.append(-1 if limit is None else int(limit))
+        if offset is not None:
+            sql += " OFFSET ?"
+            values.append(int(offset))
         with self._connect() as connection:
             rows = connection.execute(sql, tuple(values)).fetchall()
         return [_row_to_record(row) for row in rows]
@@ -265,12 +283,20 @@ class ArtifactCatalog:
             ).fetchall()
         return [row["artifact_id"] for row in rows]
 
-    def count(self) -> int:
-        """Number of catalogued artifacts."""
+    def count(
+        self, *, since: Optional[float] = None, **filters: Optional[str]
+    ) -> int:
+        """Number of catalogued artifacts matching ``filters`` (all when none).
+
+        Takes the same equality filters and ``since`` bound as :meth:`find`,
+        so a paginated listing can report the un-paginated ``total``.
+        """
+        clauses, values = self._filter_clauses(filters, since)
+        sql = "SELECT COUNT(*) FROM artifacts"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
         with self._connect() as connection:
-            return int(
-                connection.execute("SELECT COUNT(*) FROM artifacts").fetchone()[0]
-            )
+            return int(connection.execute(sql, tuple(values)).fetchone()[0])
 
     # ------------------------------------------------------------------
     # backfill

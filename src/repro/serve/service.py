@@ -123,6 +123,10 @@ class AlignmentService:
         #: str(index.score_dtype) per artifact — numpy dtype stringification
         #: is measurable on the per-call hot path, so it happens once here.
         self._score_dtypes: Dict[str, str] = {}
+        #: Orbit-backend provenance per artifact, read from the manifest
+        #: metadata at hosting time ("unknown" for bare indexes and
+        #: artifacts exported before the tag existed).
+        self._orbit_backends: Dict[str, str] = {}
         #: Bumped whenever an artifact id is (re)bound; lets in-flight
         #: queries detect that their index snapshot went stale before they
         #: write answers into the cache.
@@ -200,6 +204,9 @@ class AlignmentService:
             self._score_dtypes[artifact.artifact_id] = str(
                 artifact.index.score_dtype
             )
+            self._orbit_backends[artifact.artifact_id] = str(
+                artifact.metadata.get("orbit_backend", "unknown")
+            )
             self._bump_generation(artifact.artifact_id)
         return artifact.artifact_id
 
@@ -209,6 +216,7 @@ class AlignmentService:
             self._artifacts.pop(artifact_id, None)
             self._indexes[artifact_id] = index
             self._score_dtypes[artifact_id] = str(index.score_dtype)
+            self._orbit_backends[artifact_id] = "unknown"
             self._bump_generation(artifact_id)
         return artifact_id
 
@@ -218,6 +226,7 @@ class AlignmentService:
             self._indexes.pop(artifact_id, None)
             self._artifacts.pop(artifact_id, None)
             self._score_dtypes.pop(artifact_id, None)
+            self._orbit_backends.pop(artifact_id, None)
             self._bump_generation(artifact_id)
 
     def _bump_generation(self, artifact_id: str) -> None:
@@ -246,6 +255,7 @@ class AlignmentService:
             "index_bytes": index.nbytes,
             "dense_bytes": index.dense_nbytes,
             "compression_ratio": round(index.compression_ratio, 2),
+            "orbit_backend": self._orbit_backends.get(artifact_id, "unknown"),
         }
         if artifact is not None:
             info["metadata"] = dict(artifact.metadata)
@@ -302,7 +312,8 @@ class AlignmentService:
         # _query just resolved the index; a plain dict read (GIL-atomic) is
         # enough for the dtype tag even if a concurrent unload races us.
         score_dtype = self._score_dtypes.get(request.artifact_id, "unknown")
-        return make_query_response(request, answers, score_dtype)
+        orbit_backend = self._orbit_backends.get(request.artifact_id, "unknown")
+        return make_query_response(request, answers, score_dtype, orbit_backend)
 
     def match(self, artifact_id: str, source_nodes) -> np.ndarray:
         """Best target per source node (batched argmax)."""
@@ -447,6 +458,10 @@ class AlignmentService:
         with self._lock:
             hosted = sorted(self._indexes)
             cache_entries = len(self._cache)
+            orbit_backends = {
+                artifact_id: self._orbit_backends.get(artifact_id, "unknown")
+                for artifact_id in hosted
+            }
         with self._stats_lock:
             op_handles = dict(self._op_metrics)
         queries = 0
@@ -479,6 +494,7 @@ class AlignmentService:
             "schema_version": API_SCHEMA_VERSION,
             "engine_version": ENGINE_VERSION,
             "artifacts": hosted,
+            "orbit_backend": orbit_backends,
             "queries": queries,
             "batches": batches,
             "cache_entries": cache_entries,

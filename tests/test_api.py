@@ -28,7 +28,7 @@ from repro.api.models import (
 )
 from repro.serve import AlignmentService, export_result
 from repro.serve.artifacts import SCHEMA_VERSION, ArtifactSchemaError
-from repro.serve.catalog import ArtifactCatalog, record_from_manifest
+from repro.serve.catalog import FILTER_FIELDS, ArtifactCatalog, record_from_manifest
 from repro.serve.service import check_runtime_schema
 
 
@@ -263,11 +263,39 @@ class TestDispatch:
         status, payload = dispatch(
             state, "GET", "/artifacts", params={"bogus": "1"}
         )
-        assert status == 400
+        assert status == 422
+        assert payload["error"]["detail"] == [
+            {
+                "loc": ["bogus"],
+                "msg": "unknown filter; expected any of "
+                f"{list(FILTER_FIELDS)}",
+            }
+        ]
         status, payload = dispatch(
             state, "GET", "/artifacts", params={"limit": "many"}
         )
-        assert status == 400
+        assert status == 422
+        assert [e["loc"] for e in payload["error"]["detail"]] == [["limit"]]
+        status, payload = dispatch(
+            state, "GET", "/artifacts", params={"offset": "-3"}
+        )
+        assert status == 422
+        assert [e["loc"] for e in payload["error"]["detail"]] == [["offset"]]
+
+    def test_artifacts_pagination(self, store):
+        root, artifact_id, _ = store
+        state = ApiState(root=root)
+        status, payload = dispatch(state, "GET", "/artifacts")
+        assert status == 200
+        assert payload["total"] == payload["n_artifacts"] == len(payload["artifacts"])
+        assert payload["limit"] is None and payload["offset"] is None
+        # Paging past the single stored artifact: total is unaffected.
+        status, payload = dispatch(
+            state, "GET", "/artifacts", params={"limit": "5", "offset": "1"}
+        )
+        assert status == 200
+        assert payload["n_artifacts"] == 0 and payload["total"] == 1
+        assert payload["limit"] == 5 and payload["offset"] == 1
 
     def test_artifact_get(self, store):
         root, artifact_id, _ = store
@@ -332,6 +360,69 @@ class TestDispatch:
             state, "GET", "/artifacts", params={"dataset": "tiny"}
         )
         assert status == 400  # filters need a store
+
+
+# ----------------------------------------------------------------------
+# GET /backends: registry introspection over the API
+# ----------------------------------------------------------------------
+class TestBackendsEndpoint:
+    def test_lists_all_kinds_with_auto_choice(self):
+        status, payload = dispatch(ApiState(), "GET", "/backends")
+        assert status == 200
+        assert payload["schema_version"] == API_SCHEMA_VERSION
+        kinds = payload["kinds"]
+        assert set(kinds) >= {"orbit", "compute", "executor"}
+        for kind, entry in kinds.items():
+            names = [b["name"] for b in entry["backends"]]
+            assert names == sorted(names)
+            for backend in entry["backends"]:
+                assert set(backend) == {"name", "available", "priority"}
+                assert isinstance(backend["available"], bool)
+                assert isinstance(backend["priority"], int)
+            available = [b["name"] for b in entry["backends"] if b["available"]]
+            if available:
+                assert entry["auto"] in available
+        # The concrete expectations of this environment: numpy orbits and
+        # compute are available; auto never picks the opt-in sparse backend.
+        orbit_names = {b["name"]: b for b in kinds["orbit"]["backends"]}
+        assert {"python", "numpy", "numba"} <= set(orbit_names)
+        assert kinds["compute"]["auto"] == "numpy"
+
+    def test_reports_absent_accelerator_unavailable_without_import(self):
+        import importlib.util
+        import sys
+
+        status, payload = dispatch(ApiState(), "GET", "/backends")
+        assert status == 200
+        orbit = {
+            b["name"]: b for b in payload["kinds"]["orbit"]["backends"]
+        }
+        numba_present = importlib.util.find_spec("numba") is not None
+        assert orbit["numba"]["available"] is numba_present
+        if not numba_present:
+            # Probing availability must not have tried to import numba.
+            assert "numba" not in sys.modules
+            assert payload["kinds"]["orbit"]["auto"] == "numpy"
+
+    def test_counted_in_request_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        state = ApiState(metrics=MetricsRegistry("api-test"))
+        dispatch(state, "GET", "/backends")
+        counter = state.metrics.counter(
+            "api_requests_total", endpoint="/backends", status="2xx"
+        )
+        assert counter.value == 1
+
+    def test_transport_parity_on_stdlib_socket(self):
+        state = ApiState()
+        direct_status, direct_payload = dispatch(state, "GET", "/backends")
+        with BackgroundServer(state) as server:
+            status, payload = _http(server, "GET", "/backends")
+        assert (status, payload) == (
+            direct_status,
+            json.loads(json.dumps(direct_payload)),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -422,6 +513,11 @@ class TestHTTPServer:
             assert status == 200 and payload["method"] == "Degree"
             status, payload = _http(server, "GET", "/stats")
             assert status == 200 and "queries" in payload
+            status, payload = _http(server, "GET", "/backends")
+            assert status == 200
+            assert set(payload["kinds"]) >= {"orbit", "compute", "executor"}
+            status, payload = _http(server, "GET", "/artifacts?limit=1&offset=0")
+            assert status == 200 and payload["total"] >= 1
 
     def test_concurrent_http_clients(self, store):
         root, artifact_id, matrix = store
@@ -576,6 +672,19 @@ class TestAsgi:
         )
         assert asgi_response.status_code == status == 200
         assert asgi_response.json() == stdlib_payload
+        # GET parity: /backends and the paginated /artifacts listing must be
+        # byte-identical across transports (both render the same dispatch
+        # payload).
+        for path, params in [
+            ("/backends", None),
+            ("/artifacts", {"limit": "1", "offset": "0"}),
+        ]:
+            asgi_response = client.get(path, params=params)
+            status, stdlib_payload = dispatch(
+                ApiState(root=root), "GET", path, params=params
+            )
+            assert asgi_response.status_code == status == 200
+            assert asgi_response.json() == json.loads(json.dumps(stdlib_payload))
         assert client.get("/health").json()["status"] == "ok"
         assert client.post(
             "/match", json={"artifact_id": "nope", "nodes": [0]}

@@ -92,6 +92,45 @@ class TestBackendRegistry:
         assert a is b
         assert "shared-kind-test" in registered_kinds()
 
+    def test_describe_snapshot(self):
+        registry = BackendRegistry("described")
+        registry.register("base", 1, priority=0)
+        registry.register("accel", 2, priority=10, available=False)
+        assert registry.describe() == {
+            "accel": {"available": False, "priority": 10},
+            "base": {"available": True, "priority": 0},
+        }
+        assert registry.priority("accel") == 10
+        with pytest.raises(ValueError, match="unknown described backend"):
+            registry.priority("nope")
+
+    def test_broken_predicate_marks_unavailable(self):
+        """A predicate that raises must not take auto-resolution down."""
+
+        def broken():
+            raise ImportError("accel extension failed to load")
+
+        registry = BackendRegistry("fragile")
+        registry.register("base", 1, priority=0)
+        registry.register("accel", 2, priority=10, available=broken)
+        assert registry.available() == ("base",)
+        assert registry.default() == "base"
+        assert registry.describe()["accel"]["available"] is False
+
+    def test_broken_backend_resolution_names_backend_and_kind(self):
+        def broken():
+            raise RuntimeError("corrupt install")
+
+        registry = BackendRegistry("fragile-kind")
+        registry.register("base", 1, priority=0)
+        registry.register("accel", 2, priority=10, available=broken)
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            registry.resolve("accel")
+        message = str(excinfo.value)
+        assert "accel" in message
+        assert "fragile-kind" in message
+        assert "corrupt install" in message
+
 
 class TestComputeRegistry:
     def test_numpy_is_registered_and_default(self):
@@ -150,6 +189,41 @@ class TestOrbitRegistryIntegration:
                 engine.count_edge_orbits(graph, backend="bogus")
         finally:
             registry.unregister("bogus")
+
+
+class TestAbsentAcceleratorBehavior:
+    """Registry behavior when an accelerated backend's dependency is absent.
+
+    The assertions are phrased so they hold on every environment: with
+    numba installed the backend is available and wins auto; without it the
+    registry silently falls back to numpy — never a warning either way.
+    """
+
+    def test_auto_resolves_without_warning(self, recwarn):
+        import importlib.util
+
+        resolved = engine.resolve_backend(AUTO_BACKEND)
+        if importlib.util.find_spec("numba") is None:
+            assert resolved == "numpy"
+        else:
+            assert resolved == "numba"
+        assert len(recwarn) == 0
+
+    def test_numba_registered_with_top_priority(self):
+        registry = engine.orbit_registry()
+        assert "numba" in registry.names()
+        assert registry.priority("numba") > registry.priority("numpy")
+        assert registry.priority("numpy") > registry.priority("python")
+
+    def test_requesting_absent_numba_names_backend_and_kind(self):
+        import importlib.util
+
+        if importlib.util.find_spec("numba") is not None:
+            pytest.skip("numba installed: the backend is available here")
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            engine.resolve_backend("numba")
+        message = str(excinfo.value)
+        assert "numba" in message and engine.ORBIT_KIND in message
 
 
 class TestConfigBackendFields:

@@ -1,0 +1,102 @@
+"""Tests for the sparse compute backend (:mod:`repro.backend.sparse`).
+
+The backend is opt-in by design: it registers with negative priority so
+``"auto"`` keeps resolving to numpy and the default float64 path stays
+bit-identical; asked for explicitly, it routes qualifying GEMMs through
+scipy.sparse and falls back (bit-identically) to the dense product
+otherwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.compute import compute_registry, get_compute_backend
+from repro.backend.sparse import (
+    SPARSE_DENSITY_THRESHOLD,
+    scipy_available,
+    sparse_matmul,
+)
+
+
+def _sparse_operands(rng, shape_a=(80, 64), shape_b=(64, 72), density=0.05):
+    a = rng.standard_normal(shape_a)
+    b = rng.standard_normal(shape_b)
+    a[rng.random(shape_a) > density] = 0.0
+    b[rng.random(shape_b) > density] = 0.0
+    return a, b
+
+
+class TestRegistration:
+    def test_registered_but_never_auto(self):
+        registry = compute_registry()
+        assert "sparse" in registry.names()
+        assert registry.is_available("sparse") is scipy_available()
+        # Negative priority: auto must keep resolving to numpy even though
+        # sparse is available, preserving the locked bit-identical default.
+        assert registry.priority("sparse") < registry.priority("numpy")
+        assert registry.default() == "numpy"
+
+    def test_explicit_selection(self):
+        backend = get_compute_backend("sparse")
+        assert backend.name == "sparse"
+
+
+class TestSparseMatmul:
+    def test_sparse_route_matches_dense(self):
+        rng = np.random.default_rng(0)
+        a, b = _sparse_operands(rng)
+        out = np.empty((a.shape[0], b.shape[1]))
+        got = sparse_matmul(a, b, out)
+        assert got is out
+        np.testing.assert_allclose(got, a @ b, rtol=1e-12, atol=1e-12)
+
+    def test_dense_fallback_is_bit_identical(self):
+        # Dense operands fail the density check: the fallback is np.matmul,
+        # so the result is bit-identical to the numpy backend.
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((80, 64))
+        b = rng.standard_normal((64, 72))
+        out = np.empty((80, 72))
+        np.testing.assert_array_equal(sparse_matmul(a, b, out), a @ b)
+
+    def test_small_operands_skip_csr_conversion(self):
+        # Below the element floor even all-zero operands go dense.
+        a = np.zeros((4, 4))
+        b = np.zeros((4, 4))
+        out = np.empty((4, 4))
+        np.testing.assert_array_equal(sparse_matmul(a, b, out), a @ b)
+
+    def test_threshold_override(self):
+        rng = np.random.default_rng(2)
+        a, b = _sparse_operands(rng, density=0.5)
+        out = np.empty((a.shape[0], b.shape[1]))
+        # density ~0.5 > default threshold: dense path, exact equality.
+        np.testing.assert_array_equal(
+            sparse_matmul(a, b, out, threshold=SPARSE_DENSITY_THRESHOLD), a @ b
+        )
+        # A permissive threshold forces the CSR path; allclose, same values
+        # up to accumulation-order ulps (why the backend is opt-in).
+        np.testing.assert_allclose(
+            sparse_matmul(a, b, out, threshold=1.0), a @ b, rtol=1e-12, atol=1e-12
+        )
+
+    def test_flows_through_similarity_kernel(self):
+        from repro.similarity import pearson_similarity
+
+        rng = np.random.default_rng(3)
+        s = rng.standard_normal((70, 8))
+        t = rng.standard_normal((50, 8))
+        np.testing.assert_allclose(
+            pearson_similarity(s, t, backend="sparse"),
+            pearson_similarity(s, t),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    def test_clip_matches_numpy(self):
+        backend = get_compute_backend("sparse")
+        a = np.linspace(-2, 2, 16).reshape(4, 4)
+        out = np.empty_like(a)
+        np.testing.assert_array_equal(
+            backend.clip(a, -1.0, 1.0, out), np.clip(a, -1.0, 1.0)
+        )

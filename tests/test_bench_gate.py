@@ -48,6 +48,28 @@ RUNNER_PAYLOAD = {
 }
 
 
+ORBITS_PAYLOAD = {
+    "command": "python benchmarks/bench_orbit_counting.py --quick",
+    "results": [
+        {
+            "identical": True,
+            "speedup_total": 25.0,
+            "backends": {"numpy": {"total_s": 0.004}},
+        },
+        {
+            # The acceptance-criterion graph: optional jit metrics plus the
+            # always-measured delta-recount invariants.
+            "jit": {
+                "available": True,
+                "identical": True,
+                "speedup_edge": 6.0,
+            },
+            "delta": {"identical": True, "speedup": 8.0},
+        },
+    ],
+}
+
+
 def _write(directory: Path, name: str, payload: dict) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     (directory / name).write_text(json.dumps(payload))
@@ -259,6 +281,55 @@ class TestGate:
         out = capsys.readouterr().out
         assert "missing from the fresh run" in out
         assert "python benchmarks/bench_shard.py" in out
+
+    def _run_orbits(self, tmp_path, fresh):
+        _write(tmp_path / "baselines", "BENCH_orbits.json", ORBITS_PAYLOAD)
+        _write(tmp_path / "fresh", "BENCH_orbits.json", fresh)
+        return check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_orbits.json",
+            ]
+        )
+
+    def test_optional_jit_metrics_enforced_when_measured(self, tmp_path):
+        assert self._run_orbits(tmp_path, ORBITS_PAYLOAD) == 0
+
+    def test_optional_jit_metrics_skip_on_null(self, tmp_path, capsys):
+        # Without numba the benchmark records null jit metrics — the
+        # optional checks skip instead of failing the gate.
+        fresh = json.loads(json.dumps(ORBITS_PAYLOAD))
+        fresh["results"][1]["jit"] = {
+            "available": False,
+            "identical": None,
+            "speedup_edge": None,
+        }
+        assert self._run_orbits(tmp_path, fresh) == 0
+        assert "not measurable here" in capsys.readouterr().out
+
+    def test_optional_jit_floor_fails_when_measured_low(self, tmp_path):
+        fresh = json.loads(json.dumps(ORBITS_PAYLOAD))
+        fresh["results"][1]["jit"]["speedup_edge"] = 1.2  # below the 2.0 floor
+        assert self._run_orbits(tmp_path, fresh) == 1
+
+    def test_optional_jit_identity_fails_when_measured_false(self, tmp_path):
+        fresh = json.loads(json.dumps(ORBITS_PAYLOAD))
+        fresh["results"][1]["jit"]["identical"] = False
+        assert self._run_orbits(tmp_path, fresh) == 1
+
+    def test_delta_invariants_always_enforced(self, tmp_path):
+        fresh = json.loads(json.dumps(ORBITS_PAYLOAD))
+        fresh["results"][1]["delta"]["speedup"] = 3.0  # below the 5.0 floor
+        assert self._run_orbits(tmp_path, fresh) == 1
+
+    def test_missing_optional_subtree_is_schema_stale(self, tmp_path, capsys):
+        # null skips, but a *missing* jit subtree means the benchmark
+        # output predates the script — that still fails loudly.
+        fresh = json.loads(json.dumps(ORBITS_PAYLOAD))
+        del fresh["results"][1]["jit"]
+        assert self._run_orbits(tmp_path, fresh) == 1
+        assert "missing from the fresh run" in capsys.readouterr().out
 
     def test_matching_executors_compare_and_pass(self, tmp_path):
         _write(tmp_path / "baselines", "BENCH_runner.json", RUNNER_PAYLOAD)

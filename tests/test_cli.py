@@ -160,24 +160,25 @@ class TestServeCommands:
 
     def test_query_legacy_format(self, tmp_path, capsys):
         artifact_id = self._export(tmp_path, capsys)
-        code = main(
-            [
-                "query",
-                "--artifact-root",
-                str(tmp_path / "arts"),
-                "--artifact",
-                artifact_id,
-                "--op",
-                "top-k",
-                "--k",
-                "3",
-                "--nodes",
-                "0",
-                "1",
-                "--format",
-                "legacy",
-            ]
-        )
+        with pytest.warns(DeprecationWarning, match="--format legacy"):
+            code = main(
+                [
+                    "query",
+                    "--artifact-root",
+                    str(tmp_path / "arts"),
+                    "--artifact",
+                    artifact_id,
+                    "--op",
+                    "top-k",
+                    "--k",
+                    "3",
+                    "--nodes",
+                    "0",
+                    "1",
+                    "--format",
+                    "legacy",
+                ]
+            )
         assert code == 0
         output = capsys.readouterr().out
         lines = [line for line in output.splitlines() if line.strip()]

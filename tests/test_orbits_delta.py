@@ -1,0 +1,184 @@
+"""Tests for delta orbit recounting (:mod:`repro.orbits.delta`).
+
+The contract under test: after any edge append/remove batch, the patched
+GDV matrix is **bit-identical** to a from-scratch recount of the mutated
+graph, the patched result re-enters the content-hash cache under the
+mutated graph's hash, and invalid mutations fail loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import erdos_renyi_graph, powerlaw_cluster_graph
+from repro.orbits import engine
+from repro.orbits.cache import OrbitCache, graph_content_hash
+from repro.orbits.delta import apply_edge_batch, delta_count_node_orbits
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in engine.available_backends(),
+    reason="vectorized orbit backend unavailable (numpy < 2.0)",
+)
+
+
+def _mutation_batch(graph, rng, n_changes):
+    """A disjoint (additions, removals) batch of ``n_changes`` edges each."""
+    edge_list = graph.edge_list()
+    present = set(edge_list)
+    picks = rng.permutation(len(edge_list)).tolist()[:n_changes]
+    removals = [edge_list[i] for i in picks]
+    additions = []
+    n = graph.n_nodes
+    while len(additions) < n_changes:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        edge = (min(u, v), max(u, v))
+        if edge in present or edge in additions:
+            continue
+        additions.append(edge)
+    return additions, removals
+
+
+def _assert_delta_matches_full(graph, additions, removals):
+    result = delta_count_node_orbits(
+        graph, add_edges=additions, remove_edges=removals
+    )
+    full = engine.count_node_orbits(result.graph, backend="numpy")
+    np.testing.assert_array_equal(result.node_orbits, full)
+    assert result.node_orbits.dtype == np.int64
+    assert result.n_added == len(additions)
+    assert result.n_removed == len(removals)
+    return result
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_batches_on_er_graphs(self, seed):
+        graph = erdos_renyi_graph(40 + 5 * seed, 4.0 + 0.5 * seed, random_state=seed)
+        rng = np.random.default_rng(100 + seed)
+        additions, removals = _mutation_batch(graph, rng, 4)
+        _assert_delta_matches_full(graph, additions, removals)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_batches_on_powerlaw_graphs(self, seed):
+        graph = powerlaw_cluster_graph(50, 3, 0.6, random_state=seed)
+        rng = np.random.default_rng(200 + seed)
+        additions, removals = _mutation_batch(graph, rng, 3)
+        _assert_delta_matches_full(graph, additions, removals)
+
+    def test_additions_only_and_removals_only(self):
+        graph = erdos_renyi_graph(60, 5.0, random_state=1)
+        rng = np.random.default_rng(7)
+        additions, removals = _mutation_batch(graph, rng, 5)
+        _assert_delta_matches_full(graph, additions, [])
+        _assert_delta_matches_full(graph, [], removals)
+
+    def test_remove_then_readd_returns_to_base(self):
+        graph = erdos_renyi_graph(50, 5.0, random_state=2)
+        base = engine.count_node_orbits(graph, backend="numpy")
+        edge = graph.edge_list()[3]
+        result = delta_count_node_orbits(
+            graph, add_edges=[edge], remove_edges=[edge], node_orbits=base
+        )
+        np.testing.assert_array_equal(result.node_orbits, base)
+        assert result.graph == graph
+
+    def test_one_percent_batch(self):
+        """The acceptance-criteria scenario: a 1% edge-mutation batch."""
+        graph = erdos_renyi_graph(500, 8.0, random_state=7)
+        n_changes = max(1, graph.n_edges // 100 // 2)
+        rng = np.random.default_rng(42)
+        additions, removals = _mutation_batch(graph, rng, n_changes)
+        _assert_delta_matches_full(graph, additions, removals)
+
+
+class TestCacheReentry:
+    def test_patched_matrix_lands_under_mutated_hash(self):
+        graph = erdos_renyi_graph(60, 5.0, random_state=3)
+        cache = OrbitCache()
+        # Prime the cache with the base graph's counts.
+        base = engine.count_node_orbits(graph, backend="numpy", cache=cache)
+        rng = np.random.default_rng(9)
+        additions, removals = _mutation_batch(graph, rng, 3)
+        result = delta_count_node_orbits(
+            graph, add_edges=additions, remove_edges=removals, cache=cache
+        )
+        cached = cache.get_node_orbits(graph_content_hash(result.graph))
+        assert cached is not None
+        np.testing.assert_array_equal(cached, result.node_orbits)
+        # A later engine count of the mutated graph is a cache hit that
+        # compares bit-identically to a cold from-scratch recount.
+        via_cache = engine.count_node_orbits(
+            result.graph, backend="numpy", cache=cache
+        )
+        cold = engine.count_node_orbits(result.graph, backend="numpy")
+        np.testing.assert_array_equal(via_cache, cold)
+        # The base entry is untouched.
+        np.testing.assert_array_equal(
+            cache.get_node_orbits(graph_content_hash(graph)), base
+        )
+
+
+class TestTouchedRadius:
+    def test_touched_nodes_within_two_hops(self):
+        graph = erdos_renyi_graph(80, 4.0, random_state=4)
+        edge = graph.edge_list()[0]
+        result = delta_count_node_orbits(graph, remove_edges=[edge])
+        adj = graph.adjacency_sets()
+        within = set(edge)
+        for node in edge:
+            within |= adj[node]
+        for node in set(within):
+            within |= adj[node]
+        assert set(result.touched.tolist()) <= within
+
+    def test_untouched_rows_unchanged(self):
+        graph = erdos_renyi_graph(80, 4.0, random_state=5)
+        base = engine.count_node_orbits(graph, backend="numpy")
+        edge = graph.edge_list()[0]
+        result = delta_count_node_orbits(
+            graph, remove_edges=[edge], node_orbits=base
+        )
+        untouched = np.setdiff1d(
+            np.arange(graph.n_nodes), result.touched, assume_unique=False
+        )
+        np.testing.assert_array_equal(
+            result.node_orbits[untouched], base[untouched]
+        )
+
+
+class TestValidation:
+    @pytest.fixture()
+    def graph(self):
+        return from_edge_list([(0, 1), (1, 2), (2, 0), (2, 3)], n_nodes=5)
+
+    def test_remove_absent_edge_rejected(self, graph):
+        with pytest.raises(ValueError, match="absent edge"):
+            delta_count_node_orbits(graph, remove_edges=[(0, 3)])
+
+    def test_add_present_edge_rejected(self, graph):
+        with pytest.raises(ValueError, match="already-present"):
+            delta_count_node_orbits(graph, add_edges=[(0, 1)])
+
+    def test_self_loop_rejected(self, graph):
+        with pytest.raises(ValueError):
+            delta_count_node_orbits(graph, add_edges=[(2, 2)])
+
+    def test_out_of_range_rejected(self, graph):
+        with pytest.raises(ValueError):
+            delta_count_node_orbits(graph, add_edges=[(0, 99)])
+
+    def test_shape_mismatch_rejected(self, graph):
+        with pytest.raises(ValueError, match="shape"):
+            delta_count_node_orbits(
+                graph, add_edges=[(0, 3)], node_orbits=np.zeros((2, 2))
+            )
+
+    def test_apply_edge_batch_mutates_graph_only(self, graph):
+        mutated = apply_edge_batch(graph, add_edges=[(0, 3)], remove_edges=[(0, 1)])
+        assert mutated.has_edge(0, 3)
+        assert not mutated.has_edge(0, 1)
+        assert mutated.n_nodes == graph.n_nodes
+        # The original is untouched (AttributedGraph is a value object).
+        assert graph.has_edge(0, 1)
