@@ -6,8 +6,12 @@ similarity path:
 1. **Suite wall-clock per executor backend.**  A real sweep (3 dataset
    pairs × 3 methods) through ``run_suite`` once under the ``serial``
    reference executor and once per pooled backend (``process-pool``,
-   ``thread-pool``, ``jobs=4`` each), recording each backend's wall clock
-   and real-job speedup over serial.  On a multi-core machine the pooled
+   ``thread-pool``, ``process-pool-shm``, ``jobs=4`` each), recording each
+   backend's wall clock and real-job speedup over serial.  The zero-copy
+   ``process-pool-shm`` run additionally lands a top-level ``shm`` section:
+   its speedup, a bit-identical comparison of every job artifact against
+   the serial run (timing fields stripped), and the warm-pool telemetry
+   (BLAS thread cap, dataset-cache hit counts) from the suite manifest.  On a multi-core machine the pooled
    runs win roughly linearly; on a 1-CPU container CPU-bound jobs cannot
    speed up, so the report also includes a *scheduler overlap* run with
    I/O-bound stand-in jobs (each sleeps a fixed interval), which isolates
@@ -100,36 +104,79 @@ def _run_suite_timed(suite, jobs, resolver=None, executor=None):
             suite, workdir, jobs=jobs, method_resolver=resolver, executor=executor
         )
         elapsed = time.perf_counter() - start
-        statuses = report.counts
-        resolved = report.executor
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
-    return elapsed, statuses, resolved
+    return elapsed, report
+
+
+#: Per-job fields that legitimately differ between executors (timing only);
+#: the shm bit-identical gate compares everything else.
+_TIMING_FIELDS = {"wall_seconds", "time_seconds", "stage_times"}
+
+
+def _strip_timing(value):
+    if isinstance(value, dict):
+        return {
+            key: _strip_timing(inner)
+            for key, inner in value.items()
+            if key not in _TIMING_FIELDS
+        }
+    if isinstance(value, list):
+        return [_strip_timing(inner) for inner in value]
+    return value
+
+
+def _artifacts_identical(left, right) -> bool:
+    """Whether two runs' job artifacts match after dropping timing fields."""
+    by_id_left = {a["job_id"]: _strip_timing(a) for a in left}
+    by_id_right = {a["job_id"]: _strip_timing(a) for a in right}
+    return by_id_left == by_id_right
 
 
 def bench_suite(quick: bool) -> dict:
     """Measurement 1: real-job wall-clock per executor backend."""
     suite = _real_suite(quick)
     n_jobs = len(suite.jobs())
-    serial_s, serial_counts, _ = _run_suite_timed(suite, jobs=1, executor="serial")
+    serial_s, serial_report = _run_suite_timed(suite, jobs=1, executor="serial")
     executors = {
         "serial": {
             "executor": "serial",
             "workers": 1,
             "wall_s": serial_s,
             "speedup_vs_serial": 1.0,
-            "all_done": serial_counts == {"done": n_jobs},
+            "all_done": serial_report.counts == {"done": n_jobs},
         }
     }
-    for name in ("process-pool", "thread-pool"):
-        wall_s, counts, resolved = _run_suite_timed(suite, jobs=4, executor=name)
+    shm = None
+    for name in ("process-pool", "thread-pool", "process-pool-shm"):
+        wall_s, report = _run_suite_timed(suite, jobs=4, executor=name)
         executors[name] = {
-            "executor": resolved,
+            "executor": report.executor,
             "workers": 4,
             "wall_s": wall_s,
             "speedup_vs_serial": serial_s / wall_s if wall_s else float("nan"),
-            "all_done": counts == {"done": n_jobs},
+            "all_done": report.counts == {"done": n_jobs},
         }
+        if name == "process-pool-shm":
+            # The zero-copy substrate's section: speedup, the bit-identical
+            # gate against serial, and the warm-pool telemetry run_suite
+            # aggregated into the manifest.
+            detail = report.executor_detail or {}
+            shm = {
+                "executor": report.executor,
+                "workers": 4,
+                "cpus": os.cpu_count() or 1,
+                "wall_s": wall_s,
+                "speedup_vs_serial": executors[name]["speedup_vs_serial"],
+                "bit_identical": _artifacts_identical(
+                    serial_report.artifacts, report.artifacts
+                ),
+                "blas_thread_cap": detail.get("blas_thread_cap"),
+                "blas_cap_method": detail.get("blas_cap_method"),
+                "datasets_staged": detail.get("datasets_staged"),
+                "shared_bytes": detail.get("shared_bytes"),
+                "dataset_cache": detail.get("dataset_cache"),
+            }
 
     # Four *distinct* jobs (the grid keeps their spec hashes apart) whose
     # work is pure sleeping, so overlap is observable even on one core.
@@ -139,10 +186,10 @@ def bench_suite(quick: bool) -> dict:
         methods=["Sleep"],
         grid={"n_neighbors": [5, 6, 7, 8]},
     )
-    sleep_serial_s, _, _ = _run_suite_timed(
+    sleep_serial_s, _ = _run_suite_timed(
         sleep_suite, jobs=1, resolver=_sleep_resolver, executor="serial"
     )
-    sleep_parallel_s, _, sleep_executor = _run_suite_timed(
+    sleep_parallel_s, sleep_report = _run_suite_timed(
         sleep_suite, jobs=4, resolver=_sleep_resolver, executor="process-pool"
     )
     return {
@@ -150,8 +197,9 @@ def bench_suite(quick: bool) -> dict:
         "serial_s": serial_s,
         "executors": executors,
         "all_done": all(entry["all_done"] for entry in executors.values()),
+        "shm": shm,
         "scheduler_overlap": {
-            "executor": sleep_executor,
+            "executor": sleep_report.executor,
             "n_jobs": 4,
             "sleep_per_job_s": SLEEP_SECONDS,
             "serial_s": sleep_serial_s,
@@ -255,21 +303,31 @@ def main(argv=None) -> int:
 
     cpus = os.cpu_count() or 1
     suite = bench_suite(args.quick)
+    shm = suite.pop("shm")
     kernels = bench_kernel_memory(args.quick)
     greedy = bench_greedy_memory(args.quick)
 
     overlap = suite["scheduler_overlap"]
     executor_lines = [
-        f"    {name:<13} wall {entry['wall_s']:6.2f}s  "
+        f"    {name:<16} wall {entry['wall_s']:6.2f}s  "
         f"speedup {entry['speedup_vs_serial']:.2f}x  all done: {entry['all_done']}"
         for name, entry in suite["executors"].items()
     ]
+    cache = (shm or {}).get("dataset_cache") or {}
+    shm_lines = [
+        f"    process-pool-shm: bit-identical to serial: {shm['bit_identical']},"
+        f" BLAS cap {shm['blas_thread_cap']} thread(s)/worker"
+        f" ({shm['blas_cap_method']}),"
+        f" {shm['datasets_staged']} dataset(s) / {shm['shared_bytes']} B staged,"
+        f" cache hits {cache.get('hits', 0)} / attaches {cache.get('attaches', 0)}",
+    ] if shm else []
     lines = [
         f"Suite runner and chunked kernels (cpus={cpus})",
         "",
         f"[1] suite of {suite['n_jobs']} jobs (3 datasets x 3 methods) "
         "per executor backend:",
         *executor_lines,
+        *shm_lines,
         f"    scheduler overlap (4 x {overlap['sleep_per_job_s']}s sleep jobs,"
         f" {overlap['executor']}):"
         f" jobs=1 {overlap['serial_s']:.2f}s, jobs=4 {overlap['parallel4_s']:.2f}s"
@@ -298,6 +356,7 @@ def main(argv=None) -> int:
         + (" --quick" if args.quick else ""),
         "cpus": cpus,
         "suite": suite,
+        "shm": shm,
         "kernel_memory": kernels,
         "greedy_memory": greedy,
     }
@@ -306,7 +365,12 @@ def main(argv=None) -> int:
     REPORT_PATH.write_text(text + "\n")
     print(f"\n[written to {JSON_PATH} and {REPORT_PATH}]")
 
-    ok = suite["all_done"] and kernels["identical"] and greedy["identical"]
+    ok = (
+        suite["all_done"]
+        and kernels["identical"]
+        and greedy["identical"]
+        and (shm is None or shm["bit_identical"])
+    )
     return 0 if ok else 1
 
 

@@ -62,6 +62,13 @@ MAX_COLLAPSE = 0.5
 #   "floor?" — like "floor" with the same null-skip rule
 #   "time"   — fresh must be <= MAX_SLOWDOWN * baseline (same mode only)
 #   "rate"   — fresh must be >= MAX_COLLAPSE * baseline (same mode only)
+#   "pfloor" / "ptime" / "prate" — the parallel-speedup variants: identical
+#              semantics, but skipped (naming the check and the recorded
+#              cpu counts) when the run was produced on a box with fewer
+#              than 2 cpus — a single-cpu container cannot demonstrate a
+#              parallel speedup, and comparing its wall times against a
+#              multi-cpu baseline is noise, not signal.  "pfloor" guards on
+#              the fresh run's cpus; the relative kinds guard on both.
 CHECKS = {
     "BENCH_orbits.json": [
         ("results.0.identical", "true", None),
@@ -82,11 +89,17 @@ CHECKS = {
     "BENCH_runner.json": [
         ("suite.all_done", "true", None),
         ("suite.executors.serial.wall_s", "time", None),
-        ("suite.executors.process-pool.wall_s", "time", None),
-        ("suite.executors.thread-pool.wall_s", "time", None),
+        ("suite.executors.process-pool.wall_s", "ptime", None),
+        ("suite.executors.thread-pool.wall_s", "ptime", None),
+        ("suite.executors.process-pool-shm.wall_s", "ptime", None),
         # Guarded by the backend check: only compared when both runs
         # overlapped their sleep jobs through the same executor.
-        ("suite.scheduler_overlap.speedup", "rate", None),
+        ("suite.scheduler_overlap.speedup", "prate", None),
+        # The zero-copy pool must return byte-identical results to serial
+        # everywhere; its 1.3x speedup floor is a parallel property, so it
+        # auto-skips (by name, with the cpu counts) on boxes below 2 cpus.
+        ("shm.bit_identical", "true", None),
+        ("shm.speedup_vs_serial", "pfloor", 1.3),
         ("kernel_memory.identical", "true", None),
         ("kernel_memory.memory_ratio", "floor", 2.0),
         ("kernel_memory.chunked_s", "time", None),
@@ -213,6 +226,20 @@ def backend_context(payload, dotted_path):
     return context
 
 
+def recorded_cpus(payload: dict):
+    """The cpu count a benchmark payload recorded, or ``None`` if absent."""
+    cpus = payload.get("cpus")
+    try:
+        return int(cpus)
+    except (TypeError, ValueError):
+        return None
+
+
+#: Parallel-speedup check kinds and the plain kind each reduces to once the
+#: cpu guard passes.
+PARALLEL_KINDS = {"pfloor": "floor", "ptime": "time", "prate": "rate"}
+
+
 def check_file(name: str, baseline: dict, fresh: dict) -> list:
     """Run every check for one benchmark file; returns failure strings."""
     failures = []
@@ -228,6 +255,20 @@ def check_file(name: str, baseline: dict, fresh: dict) -> list:
             )
             print(f"  [FAIL] {path}: missing from the fresh run")
             continue
+        if kind in PARALLEL_KINDS:
+            fresh_cpus = recorded_cpus(fresh)
+            baseline_cpus = recorded_cpus(baseline)
+            guarded = [("fresh", fresh_cpus)]
+            if kind != "pfloor":  # floors never read the baseline value
+                guarded.append(("baseline", baseline_cpus))
+            if any(cpus is not None and cpus < 2 for _, cpus in guarded):
+                print(
+                    f"  [SKIP] {path}: parallel-speedup check needs >= 2 "
+                    f"cpus (baseline recorded {baseline_cpus} cpu(s), "
+                    f"fresh {fresh_cpus})"
+                )
+                continue
+            kind = PARALLEL_KINDS[kind]
         if kind in ("true?", "floor?"):
             if fresh_value is None:
                 print(f"  [SKIP] {path}: recorded as not measurable here")

@@ -12,8 +12,13 @@ reproduction:
   and accelerated implementations plug in via ``compute_registry()``,
 * :mod:`repro.backend.executor` — the ``"executor"`` registry of
   job-execution strategies (``serial`` / ``process-pool`` /
-  ``thread-pool``) behind the :class:`ExecutorBackend` contract; the
-  suite runner and the shard pipeline submit their jobs through it,
+  ``thread-pool`` / ``process-pool-shm``) behind the
+  :class:`ExecutorBackend` contract; the suite runner and the shard
+  pipeline submit their jobs through it,
+* :mod:`repro.backend.shm` — the zero-copy shared-memory substrate under
+  ``process-pool-shm``: :class:`~repro.backend.shm.SharedArena` segments
+  with refcounted handles and guaranteed unlink, graph-pair staging /
+  attach helpers, per-worker dataset caches and BLAS thread governance,
 * :mod:`repro.backend.precision` — :class:`PrecisionPolicy`, the
   (compute dtype, accumulation dtype) pair threaded through the similarity
   kernels, the serve index/artifacts, the shard stitcher and the core
@@ -51,6 +56,14 @@ from repro.backend.precision import (
     resolve_policy,
     score_dtype,
 )
+from repro.backend.shm import (
+    SharedArena,
+    SharedPairHandle,
+    ShmArrayHandle,
+    attach_pair,
+    blas_thread_cap,
+    share_pair,
+)
 from repro.backend.registry import (
     AUTO_BACKEND,
     BackendRegistry,
@@ -79,6 +92,12 @@ __all__ = [
     "available_executor_backends",
     "resolve_executor_backend",
     "get_executor_backend",
+    "SharedArena",
+    "SharedPairHandle",
+    "ShmArrayHandle",
+    "share_pair",
+    "attach_pair",
+    "blas_thread_cap",
     "PRECISIONS",
     "PrecisionPolicy",
     "FLOAT64",

@@ -38,10 +38,24 @@ strategy per execution model:
     contend with each other under the process pool but overlap cleanly on
     threads without any fork or pickling cost.
 
+``"process-pool-shm"``
+    The process pool plus the zero-copy substrate of
+    :mod:`repro.backend.shm`: each worker is warmed by an ``initializer``
+    that caps BLAS/OpenMP threads to the fair share
+    ``max(1, cpus // workers)`` and installs a per-worker dataset cache,
+    and callers that stage job payloads in a :class:`~repro.backend.shm.
+    SharedArena` (the suite runner does — graph CSR arrays ship as
+    shared-memory handles, attached rather than copied) skip the per-job
+    pickle + dataset reload entirely.  Scheduling, crash recovery and
+    timeouts are inherited unchanged from ``process-pool``.  The same
+    governance is available on the plain pool via
+    ``ProcessPoolExecutorBackend(cap_blas_threads=True)``.
+
 ``"auto"`` resolves through the registry's priority order to
 ``process-pool`` when the interpreter supports it (lazy availability
 probing — ``multiprocessing.synchronize`` importability), falling back to
-``thread-pool`` and then ``serial``.
+``thread-pool`` and then ``serial``; ``process-pool-shm`` is opt-in
+(selected by name) until a machine profile proves it the default.
 
 The contract every job callable must honour: it is invoked as
 ``fn(*args, timeout=..., **kwargs)`` and should *return* its failure state
@@ -53,6 +67,8 @@ pool breakage, timeouts — into results built by the ``on_crash`` /
 
 from __future__ import annotations
 
+import contextlib
+import os
 import queue
 import threading
 import time
@@ -62,6 +78,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.registry import AUTO_BACKEND, BackendRegistry, get_registry
+from repro.backend.shm import (
+    BLAS_ENV_VARS,
+    blas_thread_cap,
+    shm_worker_init,
+)
 
 #: Registry kind for job-execution backends.
 EXECUTOR_KIND = "executor"
@@ -69,6 +90,7 @@ EXECUTOR_KIND = "executor"
 #: Registered backend names (the acceptance vocabulary).
 SERIAL = "serial"
 PROCESS_POOL = "process-pool"
+PROCESS_POOL_SHM = "process-pool-shm"
 THREAD_POOL = "thread-pool"
 
 #: How often (seconds) the thread-pool coordinator polls for completions
@@ -267,7 +289,71 @@ class ProcessPoolExecutorBackend(ExecutorBackend):
 
     name = PROCESS_POOL
 
+    def __init__(self, *, cap_blas_threads: bool = False) -> None:
+        #: Opt-in BLAS thread governance on the plain pool: workers are
+        #: initialised with a ``max(1, cpus // workers)`` threadpool cap
+        #: so N workers never stack N full-width BLAS pools on one box.
+        self.cap_blas_threads = bool(cap_blas_threads)
+
+    # Pool construction is a hook so the shm backend can warm its workers
+    # (BLAS cap + per-worker dataset cache) without duplicating the
+    # scheduling / crash-recovery machinery below.
+    def _make_pool(self, max_workers: int, total_workers: int) -> ProcessPoolExecutor:
+        if self.cap_blas_threads:
+            cap = blas_thread_cap(total_workers)
+            return ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=shm_worker_init,
+                initargs=(cap,),
+            )
+        return ProcessPoolExecutor(max_workers=max_workers)
+
+    @contextlib.contextmanager
+    def _pool_env(self, total_workers: int):
+        """Export the BLAS cap to the environment while the pool may spawn.
+
+        Spawned workers read these knobs before their BLAS loads — earlier
+        than the initializer can run; forked workers are covered by
+        :func:`~repro.backend.shm.shm_worker_init` instead (threadpoolctl
+        when importable).  The parent's values are restored afterwards.
+        """
+        if not self.cap_blas_threads:
+            yield
+            return
+        cap = str(blas_thread_cap(total_workers))
+        saved = {name: os.environ.get(name) for name in BLAS_ENV_VARS}
+        for name in BLAS_ENV_VARS:
+            os.environ[name] = cap
+        try:
+            yield
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+
     def submit_jobs(
+        self,
+        jobs,
+        *,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        on_result: OnResult = None,
+        on_crash: OnCrash = None,
+        on_timeout: OnTimeout = None,
+    ) -> Dict[str, Dict[str, object]]:
+        with self._pool_env(max(1, int(workers) if workers else 1)):
+            return self._submit_jobs_governed(
+                jobs,
+                workers=workers,
+                timeout=timeout,
+                on_result=on_result,
+                on_crash=on_crash,
+                on_timeout=on_timeout,
+            )
+
+    def _submit_jobs_governed(
         self,
         jobs,
         *,
@@ -287,10 +373,11 @@ class ProcessPoolExecutorBackend(ExecutorBackend):
             if on_result is not None:
                 on_result(key, result)
 
-        max_workers = max(1, min(int(workers) if workers else 1, len(jobs) or 1))
+        requested_workers = max(1, int(workers) if workers else 1)
+        max_workers = min(requested_workers, len(jobs) or 1)
         broken = False
         try:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            with self._make_pool(max_workers, requested_workers) as pool:
                 futures = {
                     pool.submit(
                         job.fn, *job.args, timeout=timeout, **job.kwargs
@@ -330,7 +417,11 @@ class ProcessPoolExecutorBackend(ExecutorBackend):
             if job.key in results:
                 continue
             try:
-                with ProcessPoolExecutor(max_workers=1) as solo:
+                # The solo pool keeps the main pool's worker warm-up (BLAS
+                # cap sized for the original worker count, dataset cache),
+                # and shared segments are still live: only the coordinating
+                # arena unlinks, after submit_jobs returns.
+                with self._make_pool(1, requested_workers) as solo:
                     result = solo.submit(
                         job.fn, *job.args, timeout=timeout, **job.kwargs
                     ).result()
@@ -342,6 +433,34 @@ class ProcessPoolExecutorBackend(ExecutorBackend):
                 )
             _emit(job.key, result)
         return results
+
+
+class SharedMemoryProcessPoolExecutorBackend(ProcessPoolExecutorBackend):
+    """The warm zero-copy process pool (``"process-pool-shm"``).
+
+    Identical scheduling, timeout and crash-recovery behaviour to
+    ``process-pool`` — same base class, same isolation retries — with the
+    per-job overhead removed:
+
+    * every worker runs :func:`repro.backend.shm.shm_worker_init` once at
+      start-up, capping its BLAS/OpenMP threadpool to the fair share
+      ``max(1, cpus // workers)`` and installing the per-worker dataset
+      cache;
+    * callers that stage datasets in a :class:`~repro.backend.shm.
+      SharedArena` (``run_suite`` does) pass shared-memory handles in the
+      job kwargs, so workers attach graph CSR arrays read-only instead of
+      unpickling copies, and each dataset is materialised once per worker
+      instead of once per job.
+
+    ``supports_shared_datasets`` is the capability flag coordinators key
+    on to decide whether staging is worth the parent-side load.
+    """
+
+    name = PROCESS_POOL_SHM
+    supports_shared_datasets = True
+
+    def __init__(self) -> None:
+        super().__init__(cap_blas_threads=True)
 
 
 def _process_pool_available() -> bool:
@@ -370,6 +489,16 @@ def executor_registry() -> BackendRegistry:
             PROCESS_POOL,
             ProcessPoolExecutorBackend(),
             priority=10,
+            available=_process_pool_available,
+        )
+    if PROCESS_POOL_SHM not in registry.names():
+        # Below process-pool: "auto" keeps resolving to the plain pool;
+        # the zero-copy pool is selected by name (CLI --executor,
+        # SuiteSpec.executor_backend, HTCConfig.executor_backend).
+        registry.register(
+            PROCESS_POOL_SHM,
+            SharedMemoryProcessPoolExecutorBackend(),
+            priority=8,
             available=_process_pool_available,
         )
     return registry
@@ -401,12 +530,14 @@ __all__ = [
     "EXECUTOR_KIND",
     "SERIAL",
     "PROCESS_POOL",
+    "PROCESS_POOL_SHM",
     "THREAD_POOL",
     "ExecutorJob",
     "ExecutorBackend",
     "SerialExecutor",
     "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
+    "SharedMemoryProcessPoolExecutorBackend",
     "executor_registry",
     "available_executor_backends",
     "resolve_executor_backend",

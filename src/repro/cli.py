@@ -578,6 +578,17 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         f"[{report.executor} executor]"
     )
     print(f"[manifest written to {report.manifest_path}]")
+    detail = report.executor_detail
+    if detail:
+        cache = detail.get("dataset_cache") or {}
+        print(
+            f"[shm: BLAS cap {detail.get('blas_thread_cap')} "
+            f"thread(s)/worker via {detail.get('blas_cap_method')}, "
+            f"{detail.get('datasets_staged')} dataset(s) staged "
+            f"({detail.get('shared_bytes', 0)} bytes); worker cache: "
+            f"{cache.get('hits', 0)} hit(s), {cache.get('attaches', 0)} "
+            f"attach(es), {cache.get('worker_loads', 0)} load(s)]"
+        )
     if args.emit_artifacts:
         emitted = [
             a["serve_artifact"]["artifact_id"]

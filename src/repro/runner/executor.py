@@ -3,9 +3,14 @@
 ``run_suite`` expands a :class:`~repro.runner.spec.SuiteSpec` into jobs and
 submits them through an :class:`repro.backend.executor.ExecutorBackend` —
 ``serial`` (inline, deterministic), ``process-pool`` (the historical local
-pool) or ``thread-pool`` (daemon threads, external timeout enforcement) —
-selected via ``SuiteSpec.executor_backend``, the ``executor`` argument or
-``"auto"`` resolution.  Every job produces one JSON artifact under
+pool), ``thread-pool`` (daemon threads, external timeout enforcement) or
+``process-pool-shm`` (warm workers attaching datasets zero-copy from a
+shared-memory arena, BLAS threads capped per worker) — selected via
+``SuiteSpec.executor_backend``, the ``executor`` argument or ``"auto"``
+resolution.  Parallel backends receive their jobs longest-expected-first:
+per-job ``wall_seconds`` from a prior manifest of the same suite feed a
+cost model (grid-size heuristic fallback), shrinking the straggler tail
+without touching the manifest's deterministic row order.  Every job produces one JSON artifact under
 ``<output_dir>/<suite>/jobs/``; the suite manifest (``manifest.json``)
 records the job statuses, the executor that produced the run and the wall
 clock.  With ``resume=True``, jobs whose artifact already exists, carries
@@ -43,6 +48,14 @@ from repro.backend.executor import (
     resolve_executor_backend,
 )
 from repro.backend.registry import AUTO_BACKEND
+from repro.backend.shm import (
+    SharedArena,
+    SharedPairHandle,
+    blas_thread_cap,
+    cached_attach_pair,
+    share_pair,
+    worker_state,
+)
 from repro.runner.spec import JobSpec, SuiteSpec
 from repro.utils.logging import get_logger
 
@@ -104,6 +117,7 @@ def execute_job(
     timeout: Optional[float] = None,
     method_resolver: Optional[Callable[[str, object], object]] = None,
     emit_artifacts_dir: Optional[str] = None,
+    dataset_shm: Optional[SharedPairHandle] = None,
 ) -> Dict[str, object]:
     """Run one job to completion and return its artifact payload.
 
@@ -115,6 +129,14 @@ def execute_job(
     run's raw ``align`` output) is additionally persisted as a serve
     artifact under that directory (see :mod:`repro.serve.artifacts`); the
     job payload then records its ``serve_artifact`` id and path.
+
+    With ``dataset_shm`` set (the ``process-pool-shm`` executor), the
+    dataset is *attached* from the coordinator's shared-memory arena
+    through the per-worker cache instead of being re-loaded — zero-copy
+    read-only CSR views, one materialisation per dataset per worker.  The
+    transport is recorded under the artifact's transient
+    ``_executor_detail`` key, which the coordinator pops into the suite
+    manifest — job artifacts on disk stay byte-identical across executors.
 
     When span tracing is on (``REPRO_TRACE=1`` /
     :func:`repro.obs.enable_tracing`), the job's per-phase spans
@@ -148,6 +170,7 @@ def execute_job(
         previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.setitimer(signal.ITIMER_REAL, float(timeout))
     obs_registry = MetricsRegistry(job.job_id) if tracing_enabled() else None
+    transport: Optional[str] = None
     started = time.perf_counter()
     try:
         with span("runner.job", obs_registry):
@@ -159,7 +182,11 @@ def execute_job(
             )
             method = resolver(job.method, config)
             with span("load_dataset", obs_registry):
-                pair = load_dataset(job.dataset, **dict(job.dataset_params))
+                if dataset_shm is not None:
+                    pair, transport = cached_attach_pair(dataset_shm)
+                else:
+                    pair = load_dataset(job.dataset, **dict(job.dataset_params))
+                    transport = "load"
             last_alignment: List[object] = []
             on_result = last_alignment.append if emit_artifacts_dir else None
             with span("align", obs_registry):
@@ -193,6 +220,16 @@ def execute_job(
     artifact["wall_seconds"] = time.perf_counter() - started
     if obs_registry is not None and len(obs_registry):
         artifact["observability"] = obs_registry.snapshot()
+    state = worker_state()
+    if dataset_shm is not None or state.blas_thread_cap is not None:
+        # Transient coordination metadata: popped (never written to disk)
+        # by run_suite and aggregated into manifest["executor_detail"], so
+        # job artifacts and spec hashes stay executor-invariant.
+        artifact["_executor_detail"] = {
+            "dataset_transport": transport,
+            "blas_thread_cap": state.blas_thread_cap,
+            "blas_cap_method": state.blas_cap_method,
+        }
     return artifact
 
 
@@ -250,6 +287,87 @@ def _load_cached_artifact(path: Path, job: JobSpec) -> Optional[Dict[str, object
     return payload
 
 
+#: Methods whose jobs are near-instant (no training loop); the cost model
+#: weighs them far below the trained methods when no prior timing exists.
+_CHEAP_METHODS = ("Degree", "Attribute")
+
+
+def _prior_wall_seconds(manifest_path: Path) -> Dict[str, float]:
+    """Per-job ``wall_seconds`` from a previous manifest of this suite.
+
+    The resume machinery already parses these manifests; here they feed the
+    cost model — a job that took 40s last night is submitted before one
+    that took 2s, shrinking the straggler tail.  Missing or unreadable
+    manifests simply yield no priors.
+    """
+    try:
+        payload = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    prior: Dict[str, float] = {}
+    for row in payload.get("jobs") or []:
+        if not isinstance(row, dict):
+            continue
+        try:
+            seconds = float(row.get("wall_seconds", 0.0))
+        except (TypeError, ValueError):
+            continue
+        if seconds > 0.0:
+            prior[str(row.get("job_id"))] = seconds
+    return prior
+
+
+def _heuristic_cost(job: JobSpec) -> float:
+    """Grid-size cost estimate for jobs with no recorded prior timing.
+
+    Dimensionless: dataset scale enters quadratically (score matrices are
+    ``O(n^2)``), training epochs linearly, and the un-trained baselines are
+    weighted down to almost nothing.
+    """
+
+    def _float(value, default: float) -> float:
+        try:
+            return float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return default
+
+    scale = _float(dict(job.dataset_params).get("scale"), 1.0)
+    epochs = _float(dict(job.config).get("epochs"), 40.0)
+    weight = 0.05 if job.method in _CHEAP_METHODS else 1.0
+    return weight * max(scale, 1e-3) ** 2 * max(epochs, 1.0) * max(1, job.n_runs)
+
+
+def order_longest_first(
+    pending: List[JobSpec], prior: Dict[str, float]
+) -> List[JobSpec]:
+    """Longest-expected-first submission order (deterministic, stable ties).
+
+    Jobs with a recorded prior ``wall_seconds`` use it directly; the rest
+    fall back to :func:`_heuristic_cost`, calibrated into seconds via the
+    median prior/heuristic ratio when any priors exist so the two cost
+    sources sort on one axis.
+    """
+    heuristics = [_heuristic_cost(job) for job in pending]
+    known = [
+        (prior[job.job_id], heuristics[i])
+        for i, job in enumerate(pending)
+        if prior.get(job.job_id, 0.0) > 0.0
+    ]
+    calibration = 1.0
+    if known:
+        seconds = sorted(s for s, _ in known)[len(known) // 2]
+        units = sorted(u for _, u in known)[len(known) // 2]
+        if units > 0.0:
+            calibration = seconds / units
+
+    def _cost(position: int) -> float:
+        recorded = prior.get(pending[position].job_id, 0.0)
+        return recorded if recorded > 0.0 else heuristics[position] * calibration
+
+    order = sorted(range(len(pending)), key=lambda i: (-_cost(i), i))
+    return [pending[i] for i in order]
+
+
 @dataclass
 class SuiteRunReport:
     """Outcome of one :func:`run_suite` invocation."""
@@ -262,6 +380,10 @@ class SuiteRunReport:
     jobs_requested: int = 0
     workers: int = 1
     executor: str = SERIAL
+    #: Execution-layer telemetry (BLAS caps, dataset-cache hit counts) when
+    #: the executor reports any; mirrored in ``manifest["executor_detail"]``
+    #: — always outside the job specs, so spec hashes stay invariant.
+    executor_detail: Optional[Dict[str, object]] = None
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -375,7 +497,22 @@ def run_suite(
         else:
             pending.append(job)
 
+    # Execution-layer telemetry accumulated across job artifacts.  The
+    # per-job ``_executor_detail`` key is transient: popped here before the
+    # artifact hits disk, so job JSONs stay byte-identical across executors.
+    transport_counts: Dict[str, int] = {}
+    observed_caps: set = set()
+    observed_cap_methods: set = set()
+
     def _record(artifact: Dict[str, object]) -> None:
+        detail = artifact.pop("_executor_detail", None)
+        if isinstance(detail, dict):
+            transport = str(detail.get("dataset_transport"))
+            transport_counts[transport] = transport_counts.get(transport, 0) + 1
+            if detail.get("blas_thread_cap") is not None:
+                observed_caps.add(int(detail["blas_thread_cap"]))
+            if detail.get("blas_cap_method"):
+                observed_cap_methods.add(str(detail["blas_cap_method"]))
         artifact_path = jobs_dir / f"{artifact['job_id']}.json"
         _write_json(artifact_path, artifact)
         artifacts.append(artifact)
@@ -411,31 +548,81 @@ def run_suite(
             "wall_seconds": 0.0,
         }
 
-    backend.submit_jobs(
-        [
-            ExecutorJob(
-                key=job.job_id,
-                fn=execute_job,
-                args=(job.to_dict(),),
-                kwargs={
-                    "method_resolver": method_resolver,
-                    "emit_artifacts_dir": serve_dir,
-                },
-            )
-            for job in pending
-        ],
-        workers=jobs,
-        timeout=timeout,
-        on_result=lambda key, artifact: _record(artifact),
-        on_crash=lambda exec_job, message: _skeleton(
-            by_key[exec_job.key], STATUS_FAILED, f"worker crashed: {message}"
-        ),
-        on_timeout=lambda exec_job: _skeleton(
-            by_key[exec_job.key],
-            STATUS_TIMEOUT,
-            f"job exceeded the {timeout}s wall-clock budget",
-        ),
-    )
+    # Cost-model scheduling: under a parallel backend, submit the
+    # longest-expected jobs first so the pool's stragglers start early and
+    # the tail shrinks.  Serial runs keep the suite's declared order.
+    submission = pending
+    if resolved_executor != SERIAL and len(pending) > 1:
+        submission = order_longest_first(
+            pending, _prior_wall_seconds(suite_dir / "manifest.json")
+        )
+
+    # Zero-copy dataset staging: for executors that advertise
+    # ``supports_shared_datasets``, the coordinator loads each unique
+    # (dataset, params) cell once into a shared-memory arena and ships
+    # handles instead of pickled CSR buffers.  A dataset that fails to
+    # stage (exotic dtypes, load error) falls back to in-worker loading
+    # for just its jobs.  ``finally: arena.destroy()`` guarantees the
+    # segments are unlinked even on KeyboardInterrupt or a pool crash.
+    arena: Optional[SharedArena] = None
+    shm_handles: Dict[tuple, Optional[SharedPairHandle]] = {}
+    shared_bytes = 0
+    supports_shm = bool(getattr(backend, "supports_shared_datasets", False))
+    if supports_shm and pending:
+        from repro.datasets import load_dataset
+
+        arena = SharedArena()
+        for job in submission:
+            dataset_key = (job.dataset, job.dataset_params)
+            if dataset_key in shm_handles:
+                continue
+            try:
+                staged = load_dataset(job.dataset, **dict(job.dataset_params))
+                shm_handles[dataset_key] = share_pair(arena, staged)
+            except Exception as error:  # noqa: BLE001 - staging is best-effort
+                logger.warning(
+                    "dataset %s%s not stageable to shared memory (%s: %s); "
+                    "its jobs will load it in-worker",
+                    job.dataset,
+                    dict(job.dataset_params) or "",
+                    type(error).__name__,
+                    error,
+                )
+                shm_handles[dataset_key] = None
+        shared_bytes = arena.nbytes
+
+    try:
+        backend.submit_jobs(
+            [
+                ExecutorJob(
+                    key=job.job_id,
+                    fn=execute_job,
+                    args=(job.to_dict(),),
+                    kwargs={
+                        "method_resolver": method_resolver,
+                        "emit_artifacts_dir": serve_dir,
+                        "dataset_shm": shm_handles.get(
+                            (job.dataset, job.dataset_params)
+                        ),
+                    },
+                )
+                for job in submission
+            ],
+            workers=jobs,
+            timeout=timeout,
+            on_result=lambda key, artifact: _record(artifact),
+            on_crash=lambda exec_job, message: _skeleton(
+                by_key[exec_job.key], STATUS_FAILED, f"worker crashed: {message}"
+            ),
+            on_timeout=lambda exec_job: _skeleton(
+                by_key[exec_job.key],
+                STATUS_TIMEOUT,
+                f"job exceeded the {timeout}s wall-clock budget",
+            ),
+        )
+    finally:
+        if arena is not None:
+            arena.destroy()
 
     wall_clock = time.perf_counter() - started
     # Keep manifest rows in the suite's deterministic job order.
@@ -467,6 +654,32 @@ def run_suite(
             for a in ordered
         ],
     }
+    # Execution-layer telemetry: manifest-level only (jobs above carry no
+    # trace of it), so spec hashes and job artifacts stay
+    # executor-invariant and --resume keeps working across backends.
+    executor_detail: Optional[Dict[str, object]] = None
+    if supports_shm:
+        executor_detail = {
+            "executor": resolved_executor,
+            "workers": jobs,
+            "cpus": os.cpu_count() or 1,
+            "blas_thread_cap": blas_thread_cap(jobs),
+            "blas_cap_method": (
+                sorted(observed_cap_methods)[0] if observed_cap_methods else None
+            ),
+            "datasets_staged": sum(
+                1 for handle in shm_handles.values() if handle is not None
+            ),
+            "shared_bytes": shared_bytes,
+            "dataset_cache": {
+                "hits": transport_counts.get("hit", 0),
+                "attaches": transport_counts.get("attach", 0),
+                "worker_loads": transport_counts.get("load", 0),
+            },
+        }
+        if observed_caps:
+            executor_detail["observed_blas_caps"] = sorted(observed_caps)
+        manifest["executor_detail"] = executor_detail
     # Cross-process span aggregation: jobs traced in worker processes ship
     # their registry snapshots home in the artifact payload; merging them is
     # exact because every histogram shares one bucket scheme.  The key is
@@ -495,12 +708,14 @@ def run_suite(
         jobs_requested=len(job_specs),
         workers=jobs,
         executor=resolved_executor,
+        executor_detail=executor_detail,
     )
 
 
 __all__ = [
     "run_suite",
     "execute_job",
+    "order_longest_first",
     "resolve_method",
     "SuiteRunReport",
     "JobTimeout",

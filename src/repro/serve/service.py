@@ -106,6 +106,12 @@ class AlignmentService:
     ----------
     cache_size:
         Maximum number of cached query results (``0`` disables caching).
+    cache_budgets:
+        Optional per-artifact-id entry caps layered under ``cache_size``:
+        an artifact with a budget can never hold more than that many cache
+        entries, so one hot artifact cannot evict every neighbour out of
+        the shared LRU.  Budget (and capacity) evictions are counted in
+        the ``service_cache_evictions_total{artifact=...}`` metric series.
 
     Examples
     --------
@@ -115,7 +121,11 @@ class AlignmentService:
     array([17, 4, 9])
     """
 
-    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_budgets: Optional[Mapping[str, int]] = None,
+    ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         self._indexes: Dict[str, SparseTopKIndex] = {}
@@ -133,6 +143,11 @@ class AlignmentService:
         self._generations: Dict[str, int] = {}
         self._cache: "OrderedDict[Tuple, object]" = OrderedDict()
         self._cache_size = cache_size
+        #: Per-artifact entry caps and the live per-artifact entry counts
+        #: (kept incrementally — the cache can hold thousands of entries).
+        self._cache_budgets: Dict[str, int] = {}
+        self._cache_counts: Dict[str, int] = {}
+        self._eviction_counts: Dict[str, int] = {}
         self._lock = threading.RLock()
         #: Per-service metrics.  Every metric carries its own lock, so the
         #: service-wide ``_lock`` (which also guards index access) is never
@@ -143,6 +158,8 @@ class AlignmentService:
         self._op_metrics: Dict[str, _OpMetrics] = {}
         self._m_cache_hits = self.metrics.counter("serve_cache_hits_total")
         self._m_cache_misses = self.metrics.counter("serve_cache_misses_total")
+        for artifact_id, budget in (cache_budgets or {}).items():
+            self.set_cache_budget(artifact_id, budget)
 
     # ------------------------------------------------------------------
     # artifact hosting
@@ -275,10 +292,74 @@ class AlignmentService:
             ) from None
 
     def _evict_artifact_cache(self, artifact_id: str) -> None:
-        """Drop cached entries of one artifact (lock must be held)."""
+        """Drop cached entries of one artifact (lock must be held).
+
+        Invalidation, not pressure: these drops do not count towards the
+        ``service_cache_evictions_total`` series.
+        """
         stale = [key for key in self._cache if key[0] == artifact_id]
         for key in stale:
             del self._cache[key]
+        self._cache_counts.pop(artifact_id, None)
+
+    # ------------------------------------------------------------------
+    # per-artifact cache budgets
+    # ------------------------------------------------------------------
+    def set_cache_budget(self, artifact_id: str, budget: Optional[int]) -> None:
+        """Cap one artifact's share of the query cache to ``budget`` entries.
+
+        ``None`` removes the cap.  A budget below the artifact's current
+        entry count trims it immediately (oldest entries first, counted as
+        evictions).  Budgets survive artifact reload — they key on the id,
+        not the hosted object.
+        """
+        with self._lock:
+            if budget is None:
+                self._cache_budgets.pop(artifact_id, None)
+                return
+            budget = int(budget)
+            if budget < 0:
+                raise ValueError(f"cache_budget must be >= 0, got {budget}")
+            self._cache_budgets[artifact_id] = budget
+            self._enforce_budget(artifact_id)
+
+    def cache_budgets(self) -> Dict[str, int]:
+        """The per-artifact entry caps currently in force."""
+        with self._lock:
+            return dict(self._cache_budgets)
+
+    def _count_eviction(self, artifact_id: str) -> None:
+        """Tally one capacity/budget eviction (lock must be held)."""
+        count = self._cache_counts.get(artifact_id, 0)
+        if count > 1:
+            self._cache_counts[artifact_id] = count - 1
+        else:
+            self._cache_counts.pop(artifact_id, None)
+        self._eviction_counts[artifact_id] = (
+            self._eviction_counts.get(artifact_id, 0) + 1
+        )
+        self.metrics.counter(
+            "service_cache_evictions_total", artifact=artifact_id
+        ).inc()
+
+    def _enforce_budget(self, artifact_id: str) -> None:
+        """Evict this artifact's oldest entries down to its budget
+        (lock must be held)."""
+        budget = self._cache_budgets.get(artifact_id)
+        if budget is None:
+            return
+        excess = self._cache_counts.get(artifact_id, 0) - budget
+        if excess <= 0:
+            return
+        stale = []
+        for key in self._cache:  # OrderedDict: oldest first
+            if key[0] == artifact_id:
+                stale.append(key)
+                if len(stale) == excess:
+                    break
+        for key in stale:
+            del self._cache[key]
+            self._count_eviction(artifact_id)
 
     # ------------------------------------------------------------------
     # queries
@@ -395,11 +476,18 @@ class AlignmentService:
                     value = np.array(miss_answers[row], copy=True)
                     value.setflags(write=False)
                     if insert:
+                        if keys[position] not in self._cache:
+                            self._cache_counts[artifact_id] = (
+                                self._cache_counts.get(artifact_id, 0) + 1
+                            )
                         self._cache[keys[position]] = value
                         self._cache.move_to_end(keys[position])
                     cached[position] = value
+                if insert:
+                    self._enforce_budget(artifact_id)
                 while len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
+                    evicted_key, _ = self._cache.popitem(last=False)
+                    self._count_eviction(str(evicted_key[0]))
         assemble_started = time.perf_counter()
         lookup_s = assemble_started - lookup_started
         answers = np.stack([np.asarray(cached[p]) for p in range(node_array.size)])
@@ -458,6 +546,8 @@ class AlignmentService:
         with self._lock:
             hosted = sorted(self._indexes)
             cache_entries = len(self._cache)
+            cache_budgets = dict(self._cache_budgets)
+            cache_evictions = dict(self._eviction_counts)
             orbit_backends = {
                 artifact_id: self._orbit_backends.get(artifact_id, "unknown")
                 for artifact_id in hosted
@@ -498,6 +588,8 @@ class AlignmentService:
             "queries": queries,
             "batches": batches,
             "cache_entries": cache_entries,
+            "cache_budgets": cache_budgets,
+            "cache_evictions": cache_evictions,
             "cache_hits": cache_hits,
             "cache_misses": cache_misses,
             "hit_rate": (cache_hits / queries) if queries else 0.0,

@@ -30,14 +30,25 @@ SHARD_PAYLOAD = {
 
 RUNNER_PAYLOAD = {
     "command": "python benchmarks/bench_runner.py --quick",
+    # Parallel-speedup checks only compare when both runs saw >= 2 cpus.
+    "cpus": 4,
     "suite": {
         "all_done": True,
         "executors": {
             "serial": {"executor": "serial", "wall_s": 1.0},
             "process-pool": {"executor": "process-pool", "wall_s": 1.5},
             "thread-pool": {"executor": "thread-pool", "wall_s": 1.2},
+            "process-pool-shm": {
+                "executor": "process-pool-shm",
+                "wall_s": 0.6,
+            },
         },
         "scheduler_overlap": {"executor": "process-pool", "speedup": 2.5},
+    },
+    "shm": {
+        "executor": "process-pool-shm",
+        "bit_identical": True,
+        "speedup_vs_serial": 1.7,
     },
     "kernel_memory": {
         "identical": True,
@@ -378,3 +389,68 @@ class TestGate:
         )
         assert code == 1
         assert "of baseline" in capsys.readouterr().out
+
+    def _run_runner(self, tmp_path, baseline, fresh):
+        _write(tmp_path / "baselines", "BENCH_runner.json", baseline)
+        _write(tmp_path / "fresh", "BENCH_runner.json", fresh)
+        return check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--fresh-dir", str(tmp_path / "fresh"),
+                "--files", "BENCH_runner.json",
+            ]
+        )
+
+    def test_single_cpu_fresh_run_skips_parallel_checks(self, tmp_path, capsys):
+        # A 1-cpu container cannot demonstrate parallel speedups: the shm
+        # floor and every pooled relative check skip by name, with both
+        # recorded cpu counts, instead of failing the gate.
+        fresh = json.loads(json.dumps(RUNNER_PAYLOAD))
+        fresh["cpus"] = 1
+        fresh["shm"]["speedup_vs_serial"] = 0.7  # below the 1.3 floor
+        fresh["suite"]["executors"]["process-pool"]["wall_s"] = 99.0
+        assert self._run_runner(tmp_path, RUNNER_PAYLOAD, fresh) == 0
+        out = capsys.readouterr().out
+        assert (
+            "shm.speedup_vs_serial: parallel-speedup check needs >= 2 cpus"
+            in out
+        )
+        assert "baseline recorded 4 cpu(s), fresh 1" in out
+        assert (
+            "suite.executors.process-pool.wall_s: parallel-speedup check"
+            in out
+        )
+
+    def test_single_cpu_baseline_skips_relative_parallel_checks(
+        self, tmp_path, capsys
+    ):
+        # The inverse: a baseline regenerated on a 1-cpu box cannot anchor
+        # relative parallel comparisons — but the shm speedup *floor* only
+        # depends on the fresh run's cpus, so it still enforces.
+        baseline = json.loads(json.dumps(RUNNER_PAYLOAD))
+        baseline["cpus"] = 1
+        fresh = json.loads(json.dumps(RUNNER_PAYLOAD))
+        fresh["suite"]["executors"]["thread-pool"]["wall_s"] = 99.0
+        assert self._run_runner(tmp_path, baseline, fresh) == 0
+        out = capsys.readouterr().out
+        assert "baseline recorded 1 cpu(s), fresh 4" in out
+
+    def test_multi_cpu_shm_floor_enforced(self, tmp_path):
+        fresh = json.loads(json.dumps(RUNNER_PAYLOAD))
+        fresh["shm"]["speedup_vs_serial"] = 1.1  # below the 1.3 floor
+        assert self._run_runner(tmp_path, RUNNER_PAYLOAD, fresh) == 1
+
+    def test_shm_bit_identical_enforced_regardless_of_cpus(self, tmp_path):
+        fresh = json.loads(json.dumps(RUNNER_PAYLOAD))
+        fresh["cpus"] = 1
+        fresh["shm"]["bit_identical"] = False
+        assert self._run_runner(tmp_path, RUNNER_PAYLOAD, fresh) == 1
+
+    def test_unrecorded_cpus_still_compares(self, tmp_path):
+        # Payloads predating the cpus field keep the old behaviour: the
+        # guard cannot prove the box was too small, so the check runs.
+        baseline = json.loads(json.dumps(RUNNER_PAYLOAD))
+        del baseline["cpus"]
+        fresh = json.loads(json.dumps(baseline))
+        fresh["shm"]["speedup_vs_serial"] = 1.1
+        assert self._run_runner(tmp_path, baseline, fresh) == 1

@@ -193,3 +193,74 @@ class TestThreadSafety:
             thread.join()
         assert not errors
         assert service.stats()["queries"] == 8 * 50 * 8
+
+
+class TestCacheBudgets:
+    def test_budget_caps_one_artifact_without_starving_others(self):
+        a = np.random.default_rng(20).standard_normal((30, 20))
+        b = np.random.default_rng(21).standard_normal((30, 20))
+        service = AlignmentService(
+            cache_size=256, cache_budgets={"a": 4}
+        )
+        service.add_index("a", build_index(a, k=4))
+        service.add_index("b", build_index(b, k=4))
+        service.match("a", np.arange(30))
+        service.match("b", np.arange(30))
+        stats = service.stats()
+        assert stats["cache_budgets"] == {"a": 4}
+        # "a" is pinned at its budget; "b" keeps all 30 rows cached.
+        assert stats["cache_evictions"] == {"a": 26}
+        assert stats["cache_entries"] == 4 + 30
+        evictions = service.metrics.counter(
+            "service_cache_evictions_total", artifact="a"
+        )
+        assert evictions.value == 26
+
+    def test_budgeted_entries_still_serve_hits(self):
+        service, matrix = make_service_with_matrix(
+            seed=22, cache_budgets={"m": 2}
+        )
+        service.match("m", [5, 6])
+        before = service.stats()["cache_hits"]
+        np.testing.assert_array_equal(
+            service.match("m", [5, 6]), matrix.argmax(axis=1)[[5, 6]]
+        )
+        assert service.stats()["cache_hits"] == before + 2
+
+    def test_lowering_budget_trims_immediately(self):
+        service, _ = make_service_with_matrix(seed=23)
+        service.match("m", np.arange(10))
+        assert service.stats()["cache_entries"] == 10
+        service.set_cache_budget("m", 3)
+        stats = service.stats()
+        assert stats["cache_entries"] == 3
+        assert stats["cache_evictions"] == {"m": 7}
+        # Removing the cap stops further budget evictions.
+        service.set_cache_budget("m", None)
+        assert service.cache_budgets() == {}
+        service.match("m", np.arange(10))
+        assert service.stats()["cache_entries"] == 10
+
+    def test_negative_budget_rejected(self):
+        service = AlignmentService()
+        with pytest.raises(ValueError, match="cache_budget"):
+            service.set_cache_budget("m", -1)
+
+    def test_invalidation_is_not_counted_as_eviction(self):
+        service, _ = make_service_with_matrix(seed=24, cache_budgets={"m": 8})
+        service.match("m", np.arange(5))
+        service.unload("m")
+        stats = service.stats()
+        assert stats["cache_entries"] == 0
+        assert stats["cache_evictions"] == {}
+
+    def test_global_capacity_evictions_are_attributed(self):
+        service, _ = make_service_with_matrix(seed=25, cache_size=8)
+        service.match("m", np.arange(12))
+        stats = service.stats()
+        assert stats["cache_entries"] == 8
+        assert stats["cache_evictions"] == {"m": 4}
+        evictions = service.metrics.counter(
+            "service_cache_evictions_total", artifact="m"
+        )
+        assert evictions.value == 4
